@@ -1,0 +1,51 @@
+// Command xmlgen emits the synthetic datasets used by the experiments.
+//
+// Usage:
+//
+//	xmlgen -kind bib -n 1000 > bib.xml
+//	xmlgen -kind orders -n 100000 -sellers 50 > orders.xml
+//	xmlgen -kind tp -n 200 > wlc.xml
+//	xmlgen -kind deep -n 50000 > deep.xml
+//	xmlgen -kind repetitive -n 10000 > rep.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqgo/internal/store"
+	"xqgo/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "bib", "dataset: bib | orders | tp | deep | repetitive")
+		n       = flag.Int("n", 1000, "size parameter (books / lines / partners / nodes / records)")
+		sellers = flag.Int("sellers", 10, "distinct SellersID values (orders)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var doc *store.Document
+	switch *kind {
+	case "bib":
+		doc = workload.Bib(workload.BibConfig{Books: *n, Seed: *seed})
+	case "orders":
+		doc = workload.Orders(workload.OrdersConfig{Lines: *n, Sellers: *sellers, Seed: *seed})
+	case "tp":
+		doc = workload.TradingPartners(workload.TPConfig{Partners: *n, Seed: *seed})
+	case "deep":
+		doc = workload.Deep(workload.DeepConfig{Nodes: *n, Seed: *seed})
+	case "repetitive":
+		doc = workload.Repetitive(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := workload.WriteXML(os.Stdout, doc); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

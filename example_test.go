@@ -1,0 +1,60 @@
+package xqgo_test
+
+import (
+	"fmt"
+	"os"
+
+	"xqgo"
+)
+
+func ExampleCompile() {
+	doc, _ := xqgo.ParseString(
+		`<bib><book year="1994"><title>TCP/IP Illustrated</title></book></bib>`, "bib.xml")
+	q, _ := xqgo.Compile(`/bib/book/@year/data(.)`, nil)
+	out, _ := q.EvalString(xqgo.NewContext().WithContextNode(doc))
+	fmt.Println(out)
+	// Output: 1994
+}
+
+func ExampleQuery_Execute() {
+	doc, _ := xqgo.ParseString(`<l><i>1</i><i>2</i></l>`, "l.xml")
+	q, _ := xqgo.Compile(`<sum>{sum(for $i in /l/i return xs:integer($i))}</sum>`, nil)
+	_ = q.Execute(xqgo.NewContext().WithContextNode(doc), os.Stdout)
+	fmt.Println()
+	// Output: <sum>3</sum>
+}
+
+func ExampleQuery_Iterator() {
+	q, _ := xqgo.Compile(`for $i in (1 to 3) return $i * 10`, nil)
+	it, _ := q.Iterator(xqgo.NewContext())
+	for {
+		item, ok, err := it.Next()
+		if err != nil || !ok {
+			break
+		}
+		s, _ := xqgo.ItemString(item)
+		fmt.Println(s)
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+func ExampleContext_Bind() {
+	q, _ := xqgo.Compile(`declare variable $n external; $n * $n`, nil)
+	out, _ := q.EvalString(xqgo.NewContext().Bind("n", 12))
+	fmt.Println(out)
+	// Output: 144
+}
+
+func ExampleDocument_BuildIndex() {
+	doc, _ := xqgo.ParseString(`<r><a><b/><a><b/></a></a><b/></r>`, "r.xml")
+	idx := doc.BuildIndex()
+	fmt.Println(len(idx.Descendants("a", "b", xqgo.StackTree)))
+	stats, _ := idx.CountTwig("a//b")
+	fmt.Println(stats.PathSolutions)
+	// Output:
+	// 2
+	// 3
+}

@@ -1,0 +1,88 @@
+// Quickstart: parse a document, compile a query, evaluate it three ways
+// (materialized, streamed to a writer, item by item).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xqgo"
+)
+
+const bib = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology for Digital TV</title>
+    <author><last>Gerbarg</last><first>Darcy</first></author>
+    <publisher>Kluwer</publisher>
+    <price>129.95</price>
+  </book>
+</bib>`
+
+func main() {
+	doc, err := xqgo.ParseString(bib, "bib.xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A FLWOR with a where clause and element construction.
+	query := `
+	  for $b in /bib/book
+	  where xs:decimal($b/price) < 100
+	  order by $b/title
+	  return <cheap year="{$b/@year}">{string($b/title)}</cheap>`
+
+	q, err := xqgo.Compile(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := xqgo.NewContext().WithContextNode(doc)
+
+	// 1. Materialize the whole result.
+	out, err := q.EvalString(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("materialized:")
+	fmt.Println(out)
+
+	// 2. Stream the serialized result to a writer (first bytes appear
+	// before the evaluation finishes).
+	fmt.Println("\nstreamed:")
+	if err := q.Execute(ctx, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// 3. Pull items one at a time.
+	fmt.Println("\nitem by item:")
+	it, err := q.Iterator(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		s, _ := xqgo.ItemString(item)
+		fmt.Println(" -", s)
+	}
+}

@@ -1,0 +1,3 @@
+module xqgo
+
+go 1.22

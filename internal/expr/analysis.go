@@ -1,0 +1,373 @@
+package expr
+
+import "xqgo/internal/xdm"
+
+// This file implements the dataflow analyses of the paper's "Xquery
+// expression analysis" slide: variable usage (how often, inside a loop?),
+// node creation, context sensitivity, error capability, and the
+// ordered/distinct guarantees that let the optimizer elide document-order
+// sorting and duplicate elimination.
+
+// boundVars returns the variables an expression node binds for each child
+// position. The result is indexed like Children(): bound[i] lists variables
+// in scope for child i that the node itself introduces.
+func boundVars(e Expr) [][]xdm.QName {
+	switch n := e.(type) {
+	case *Flwor:
+		out := make([][]xdm.QName, 0, len(n.Children()))
+		var inScope []xdm.QName
+		for _, cl := range n.Clauses {
+			out = append(out, append([]xdm.QName(nil), inScope...))
+			inScope = append(inScope, cl.Var)
+			if !cl.PosVar.IsZero() {
+				inScope = append(inScope, cl.PosVar)
+			}
+		}
+		if n.Where != nil {
+			out = append(out, inScope)
+		}
+		for _, g := range n.Group {
+			out = append(out, append([]xdm.QName(nil), inScope...))
+			inScope = append(inScope, g.Var)
+		}
+		for range n.Order {
+			out = append(out, inScope)
+		}
+		out = append(out, inScope) // return clause
+		return out
+	case *Quantified:
+		out := make([][]xdm.QName, 0, len(n.Binds)+1)
+		var inScope []xdm.QName
+		for _, b := range n.Binds {
+			out = append(out, append([]xdm.QName(nil), inScope...))
+			inScope = append(inScope, b.Var)
+		}
+		out = append(out, inScope)
+		return out
+	case *Typeswitch:
+		out := make([][]xdm.QName, 0, len(n.Cases)+2)
+		out = append(out, nil) // input
+		for _, c := range n.Cases {
+			if !c.Var.IsZero() {
+				out = append(out, []xdm.QName{c.Var})
+			} else {
+				out = append(out, nil)
+			}
+		}
+		if !n.DefaultVar.IsZero() {
+			out = append(out, []xdm.QName{n.DefaultVar})
+		} else {
+			out = append(out, nil)
+		}
+		return out
+	}
+	return nil
+}
+
+// FreeVars returns the free variables of e (keys in Clark notation).
+func FreeVars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectFree(e, map[string]int{}, out)
+	return out
+}
+
+func collectFree(e Expr, bound map[string]int, out map[string]bool) {
+	if e == nil {
+		return
+	}
+	if v, ok := e.(*VarRef); ok {
+		if bound[v.Name.Clark()] == 0 {
+			out[v.Name.Clark()] = true
+		}
+		return
+	}
+	children := e.Children()
+	bv := boundVars(e)
+	for i, c := range children {
+		var added []string
+		if bv != nil {
+			for _, q := range bv[i] {
+				k := q.Clark()
+				bound[k]++
+				added = append(added, k)
+			}
+		}
+		collectFree(c, bound, out)
+		for _, k := range added {
+			bound[k]--
+		}
+	}
+}
+
+// UseInfo describes how an expression uses one variable.
+type UseInfo struct {
+	// Count is the number of syntactic references (loop bodies count once).
+	Count int
+	// InLoop reports whether some reference sits inside a for-clause body,
+	// a quantifier body, or a recursive-capable function argument — i.e. the
+	// variable's value may be demanded many times.
+	InLoop bool
+}
+
+// UsesOf analyzes how e uses the variable named q. Shadowing is respected.
+func UsesOf(e Expr, q xdm.QName) UseInfo {
+	var info UseInfo
+	usesOf(e, q.Clark(), false, 0, &info)
+	return info
+}
+
+func usesOf(e Expr, key string, inLoop bool, shadow int, info *UseInfo) {
+	if e == nil {
+		return
+	}
+	if v, ok := e.(*VarRef); ok {
+		if shadow == 0 && v.Name.Clark() == key {
+			info.Count++
+			if inLoop {
+				info.InLoop = true
+			}
+		}
+		return
+	}
+	children := e.Children()
+	bv := boundVars(e)
+	loopChild := loopChildren(e)
+	for i, c := range children {
+		add := 0
+		if bv != nil {
+			for _, q := range bv[i] {
+				if q.Clark() == key {
+					add++
+				}
+			}
+		}
+		childLoop := inLoop || (loopChild != nil && loopChild[i])
+		usesOf(c, key, childLoop, shadow+add, info)
+	}
+}
+
+// loopChildren marks which child positions are evaluated once per binding
+// tuple ("part of a loop").
+func loopChildren(e Expr) []bool {
+	switch n := e.(type) {
+	case *Flwor:
+		out := make([]bool, 0, 8)
+		seenFor := false
+		for _, cl := range n.Clauses {
+			out = append(out, seenFor) // clause input runs per outer tuple
+			if cl.Kind == ForClause {
+				seenFor = true
+			}
+		}
+		if n.Where != nil {
+			out = append(out, seenFor)
+		}
+		for range n.Group {
+			out = append(out, seenFor)
+		}
+		for range n.Order {
+			out = append(out, seenFor)
+		}
+		out = append(out, seenFor)
+		return out
+	case *Quantified:
+		out := make([]bool, 0, len(n.Binds)+1)
+		seen := false
+		for range n.Binds {
+			out = append(out, seen)
+			seen = true
+		}
+		out = append(out, true)
+		return out
+	case *Path:
+		return []bool{false, true} // RHS runs once per LHS node
+	case *Filter:
+		out := make([]bool, 1+len(n.Preds))
+		for i := 1; i < len(out); i++ {
+			out[i] = true
+		}
+		return out
+	}
+	return nil
+}
+
+// CreatesNodes reports whether evaluating e can ever produce newly
+// constructed nodes — the paper's key side-effect test gating LET folding
+// and common-subexpression factorization. Function calls are conservatively
+// assumed to construct unless the registry says otherwise; the optimizer
+// passes a resolver for that.
+func CreatesNodes(e Expr, callCreates func(*Call) bool) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if found {
+			return false
+		}
+		switch c := x.(type) {
+		case *ElemConstructor, *AttrConstructor, *TextConstructor,
+			*CommentConstructor, *PIConstructor, *DocConstructor:
+			found = true
+			return false
+		case *Call:
+			if callCreates == nil || callCreates(c) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// UsesContext reports whether e references the context item (".", a leading
+// step, or a context-dependent function like fn:position) outside a nested
+// scope that rebinds it. Conservative: any ContextItem/Root/Step below e
+// that is not under a Path RHS or Filter predicate counts.
+func UsesContext(e Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return false
+	case *ContextItem, *Root, *Step:
+		return true
+	case *Call:
+		switch n.Name.Local {
+		case "position", "last":
+			return true
+		}
+	case *Path:
+		return UsesContext(n.L) // RHS context comes from LHS
+	case *Filter:
+		return UsesContext(n.In)
+	}
+	for _, c := range e.Children() {
+		if UsesContext(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanRaiseError conservatively reports whether evaluating e can raise a
+// dynamic error. Literals, variable references, constructors over safe
+// content, and pure navigation cannot; arithmetic, casts, and most function
+// calls can.
+func CanRaiseError(e Expr) bool {
+	can := false
+	Walk(e, func(x Expr) bool {
+		if can {
+			return false
+		}
+		switch c := x.(type) {
+		case *Arith, *Cast, *Treat, *Compare:
+			can = true
+			return false
+		case *Call:
+			if !safeCalls[c.Name.Local] {
+				can = true
+				return false
+			}
+		}
+		return true
+	})
+	return can
+}
+
+// safeCalls lists built-ins that never raise dynamic errors on any input.
+var safeCalls = map[string]bool{
+	"true": true, "false": true, "count": true, "empty": true,
+	"exists": true, "not": true, "string": true, "concat": true,
+	"position": true, "last": true, "local-name": true, "name": true,
+	"namespace-uri": true, "string-length": true, "normalize-space": true,
+}
+
+// OrderProps captures the paper's "guaranteed to return results in doc
+// order / node-distinct" analysis.
+type OrderProps struct {
+	// Sorted: the result is a node sequence in document order.
+	Sorted bool
+	// Distinct: the result contains no duplicate nodes.
+	Distinct bool
+	// Disjoint: no result node is an ancestor of another. This is the
+	// property that lets a descendant step stay sorted: descendants of
+	// ancestor-disjoint nodes enumerate in document order, while
+	// descendants of nested nodes interleave (the //a/b row of the
+	// paper's table).
+	Disjoint bool
+}
+
+// StepOrderProps computes order/distinctness guarantees for a Path whose
+// input has the given properties and whose RHS is the given step, per the
+// table in the paper:
+//
+//	$document/a/b/c — doc order, no duplicates (child steps preserve all)
+//	$document/a//b  — doc order, no duplicates (descendants of disjoint
+//	                  nodes; the result itself is no longer disjoint)
+//	$document//a/b  — NOT guaranteed doc order, but duplicate-free
+//	                  (children of nested nodes can interleave)
+//	$document//a//b — nothing can be said
+func StepOrderProps(in OrderProps, s *Step) OrderProps {
+	if !in.Sorted || !in.Distinct {
+		return OrderProps{}
+	}
+	switch s.Axis {
+	case AxisSelf:
+		return in
+	case AxisChild, AxisAttribute:
+		// Children of distinct nodes are distinct and mutually disjoint;
+		// document order holds only for a disjoint input.
+		return OrderProps{Sorted: in.Disjoint, Distinct: true, Disjoint: in.Disjoint}
+	case AxisDescendant, AxisDescendantOrSelf:
+		if in.Disjoint {
+			return OrderProps{Sorted: true, Distinct: true, Disjoint: false}
+		}
+		return OrderProps{}
+	case AxisParent, AxisAncestor, AxisAncestorOrSelf:
+		// Different children share parents: duplicates possible.
+		return OrderProps{}
+	case AxisFollowingSibling, AxisPrecedingSibling:
+		return OrderProps{}
+	}
+	return OrderProps{}
+}
+
+// Props computes the order guarantees of an expression. The resolver maps
+// variables to known properties (e.g. a for-variable bound to a sorted
+// path is a single node: disjoint trivially).
+func Props(e Expr, varProps func(xdm.QName) OrderProps) OrderProps {
+	switch n := e.(type) {
+	case *Root:
+		return OrderProps{Sorted: true, Distinct: true, Disjoint: true}
+	case *ContextItem:
+		// A single item: trivially sorted & distinct; assumed one tree.
+		return OrderProps{Sorted: true, Distinct: true, Disjoint: true}
+	case *VarRef:
+		if varProps != nil {
+			return varProps(n.Name)
+		}
+		return OrderProps{}
+	case *Call:
+		if n.Name.Local == "doc" || n.Name.Local == "document" {
+			return OrderProps{Sorted: true, Distinct: true, Disjoint: true}
+		}
+		return OrderProps{}
+	case *Path:
+		in := Props(n.L, varProps)
+		if s, ok := n.R.(*Step); ok {
+			return StepOrderProps(in, s)
+		}
+		if f, ok := n.R.(*Filter); ok {
+			if s, ok := f.In.(*Step); ok {
+				p := StepOrderProps(in, s)
+				p.Disjoint = false // filtering keeps order & distinctness
+				return OrderProps{Sorted: p.Sorted, Distinct: p.Distinct}
+			}
+		}
+		return OrderProps{}
+	case *Filter:
+		p := Props(n.In, varProps)
+		return OrderProps{Sorted: p.Sorted, Distinct: p.Distinct}
+	case *Step:
+		// A bare step applies to one context item.
+		return StepOrderProps(OrderProps{Sorted: true, Distinct: true, Disjoint: true}, n)
+	}
+	return OrderProps{}
+}

@@ -1,0 +1,267 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"xqgo/internal/xdm"
+)
+
+// String renders an expression back to (approximate) XQuery syntax. The
+// rendering is for diagnostics and optimizer tests; it is not guaranteed to
+// re-parse for every construct, but is stable.
+func String(e Expr) string {
+	var b strings.Builder
+	render(&b, e)
+	return b.String()
+}
+
+func render(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case nil:
+		b.WriteString("()")
+	case *Literal:
+		if n.Val.T == xdm.TString {
+			fmt.Fprintf(b, "%q", n.Val.S)
+		} else {
+			b.WriteString(n.Val.Lexical())
+		}
+	case *VarRef:
+		b.WriteString("$" + n.Name.String())
+	case *ContextItem:
+		b.WriteString(".")
+	case *Root:
+		b.WriteString("fn:root(.)")
+	case *Seq:
+		b.WriteString("(")
+		for i, it := range n.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(b, it)
+		}
+		b.WriteString(")")
+	case *Range:
+		b.WriteString("(")
+		render(b, n.Lo)
+		b.WriteString(" to ")
+		render(b, n.Hi)
+		b.WriteString(")")
+	case *Arith:
+		b.WriteString("(")
+		render(b, n.L)
+		fmt.Fprintf(b, " %s ", n.Op)
+		render(b, n.R)
+		b.WriteString(")")
+	case *Neg:
+		b.WriteString("-")
+		render(b, n.X)
+	case *Compare:
+		ops := [...]string{"=", "!=", "<", "<=", ">", ">="}
+		b.WriteString("(")
+		render(b, n.L)
+		if n.Kind == CompValue {
+			fmt.Fprintf(b, " %s ", n.Op)
+		} else {
+			fmt.Fprintf(b, " %s ", ops[n.Op])
+		}
+		render(b, n.R)
+		b.WriteString(")")
+	case *NodeCompare:
+		ops := [...]string{"is", "<<", ">>"}
+		b.WriteString("(")
+		render(b, n.L)
+		fmt.Fprintf(b, " %s ", ops[n.Op])
+		render(b, n.R)
+		b.WriteString(")")
+	case *Logic:
+		op := " or "
+		if n.And {
+			op = " and "
+		}
+		b.WriteString("(")
+		render(b, n.L)
+		b.WriteString(op)
+		render(b, n.R)
+		b.WriteString(")")
+	case *Step:
+		fmt.Fprintf(b, "%s::%s", n.Axis, n.Test)
+	case *Path:
+		render(b, n.L)
+		b.WriteString("/")
+		render(b, n.R)
+	case *Filter:
+		render(b, n.In)
+		for _, p := range n.Preds {
+			b.WriteString("[")
+			render(b, p)
+			b.WriteString("]")
+		}
+	case *Flwor:
+		for _, cl := range n.Clauses {
+			if cl.Kind == ForClause {
+				fmt.Fprintf(b, "for $%s ", cl.Var)
+				if !cl.PosVar.IsZero() {
+					fmt.Fprintf(b, "at $%s ", cl.PosVar)
+				}
+				b.WriteString("in ")
+			} else {
+				fmt.Fprintf(b, "let $%s := ", cl.Var)
+			}
+			render(b, cl.In)
+			b.WriteString(" ")
+		}
+		if n.Where != nil {
+			b.WriteString("where ")
+			render(b, n.Where)
+			b.WriteString(" ")
+		}
+		if len(n.Group) > 0 {
+			b.WriteString("group by ")
+			for i, g := range n.Group {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "$%s := ", g.Var)
+				render(b, g.Key)
+			}
+			b.WriteString(" ")
+		}
+		if len(n.Order) > 0 {
+			b.WriteString("order by ")
+			for i, o := range n.Order {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				render(b, o.Key)
+				if o.Descending {
+					b.WriteString(" descending")
+				}
+			}
+			b.WriteString(" ")
+		}
+		b.WriteString("return ")
+		render(b, n.Ret)
+	case *Quantified:
+		if n.Every {
+			b.WriteString("every ")
+		} else {
+			b.WriteString("some ")
+		}
+		for i, q := range n.Binds {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "$%s in ", q.Var)
+			render(b, q.In)
+		}
+		b.WriteString(" satisfies ")
+		render(b, n.Satisfies)
+	case *If:
+		b.WriteString("if (")
+		render(b, n.Cond)
+		b.WriteString(") then ")
+		render(b, n.Then)
+		b.WriteString(" else ")
+		render(b, n.Else)
+	case *Typeswitch:
+		b.WriteString("typeswitch (")
+		render(b, n.Input)
+		b.WriteString(")")
+		for _, c := range n.Cases {
+			fmt.Fprintf(b, " case %s return ", c.Type)
+			render(b, c.Body)
+		}
+		b.WriteString(" default return ")
+		render(b, n.Default)
+	case *InstanceOf:
+		b.WriteString("(")
+		render(b, n.X)
+		fmt.Fprintf(b, " instance of %s)", n.T)
+	case *Cast:
+		b.WriteString("(")
+		render(b, n.X)
+		kw := "cast"
+		if n.Castable {
+			kw = "castable"
+		}
+		opt := ""
+		if n.Optional {
+			opt = "?"
+		}
+		fmt.Fprintf(b, " %s as %s%s)", kw, n.T, opt)
+	case *Treat:
+		b.WriteString("(")
+		render(b, n.X)
+		fmt.Fprintf(b, " treat as %s)", n.T)
+	case *SetOp:
+		b.WriteString("(")
+		render(b, n.L)
+		fmt.Fprintf(b, " %s ", n.Op)
+		render(b, n.R)
+		b.WriteString(")")
+	case *Call:
+		b.WriteString(n.Name.String() + "(")
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(b, a)
+		}
+		b.WriteString(")")
+	case *ElemConstructor:
+		if n.NameExpr != nil {
+			b.WriteString("element {")
+			render(b, n.NameExpr)
+			b.WriteString("} {")
+		} else {
+			fmt.Fprintf(b, "element %s {", n.Name)
+		}
+		for i, c := range n.Content {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(b, c)
+		}
+		b.WriteString("}")
+	case *AttrConstructor:
+		if n.NameExpr != nil {
+			b.WriteString("attribute {")
+			render(b, n.NameExpr)
+			b.WriteString("} {")
+		} else {
+			fmt.Fprintf(b, "attribute %s {", n.Name)
+		}
+		for i, c := range n.Value {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(b, c)
+		}
+		b.WriteString("}")
+	case *TextConstructor:
+		b.WriteString("text {")
+		render(b, n.X)
+		b.WriteString("}")
+	case *CommentConstructor:
+		b.WriteString("comment {")
+		render(b, n.X)
+		b.WriteString("}")
+	case *PIConstructor:
+		fmt.Fprintf(b, "processing-instruction %s {", n.Target)
+		render(b, n.X)
+		b.WriteString("}")
+	case *DocConstructor:
+		b.WriteString("document {")
+		render(b, n.X)
+		b.WriteString("}")
+	case *TryCatch:
+		b.WriteString("try {")
+		render(b, n.Try)
+		b.WriteString("} catch * {")
+		render(b, n.Catch)
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "«%T»", e)
+	}
+}

@@ -1,0 +1,47 @@
+package expr
+
+// Walk calls fn for e and every descendant expression, pre-order. fn
+// returning false prunes the subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range e.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Rewrite applies fn bottom-up: children are rewritten first, then fn is
+// applied to the (possibly reconstructed) node. fn returning nil keeps the
+// node unchanged.
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	children := e.Children()
+	if len(children) > 0 {
+		newChildren := make([]Expr, len(children))
+		changed := false
+		for i, c := range children {
+			newChildren[i] = Rewrite(c, fn)
+			if newChildren[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			e = e.WithChildren(newChildren)
+		}
+	}
+	if r := fn(e); r != nil {
+		return r
+	}
+	return e
+}
+
+// Count returns the number of expression nodes in the tree (a cheap size
+// metric used in optimizer tests and cost heuristics).
+func Count(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,418 @@
+package functions
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xqgo/internal/xdm"
+)
+
+// Node, boolean, numeric, date and diagnostic functions.
+
+func init() {
+	det := Properties{Deterministic: true}
+	detErr := Properties{Deterministic: true, CanRaiseError: true}
+
+	// ---- booleans ----
+	register(&Func{Name: "true", MinArgs: 0, MaxArgs: 0, Props: det,
+		Call: func(_ Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+			return singleton(xdm.True), nil
+		}})
+	register(&Func{Name: "false", MinArgs: 0, MaxArgs: 0, Props: det,
+		Call: func(_ Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+			return singleton(xdm.False), nil
+		}})
+	register(&Func{Name: "not", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			b, err := xdm.EffectiveBoolean(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return singleton(xdm.NewBoolean(!b)), nil
+		}})
+	register(&Func{Name: "boolean", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			b, err := xdm.EffectiveBoolean(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return singleton(xdm.NewBoolean(b)), nil
+		}})
+
+	// ---- accessors ----
+	register(&Func{Name: "data", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			out := make(xdm.Sequence, len(args[0]))
+			for i, it := range args[0] {
+				out[i] = xdm.Atomize(it)
+			}
+			return out, nil
+		}})
+	register(&Func{Name: "node-name", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := oneNode(args[0])
+			if err != nil || n == nil {
+				return emptySeq, err
+			}
+			if n.NodeName().IsZero() {
+				return emptySeq, nil
+			}
+			return singleton(xdm.NewQName(n.NodeName())), nil
+		}})
+	register(&Func{Name: "name", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := nodeArgOrContext(ctx, args)
+			if err != nil || n == nil {
+				return singleton(xdm.NewString("")), err
+			}
+			return singleton(xdm.NewString(n.NodeName().String())), nil
+		}})
+	register(&Func{Name: "local-name", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := nodeArgOrContext(ctx, args)
+			if err != nil || n == nil {
+				return singleton(xdm.NewString("")), err
+			}
+			return singleton(xdm.NewString(n.NodeName().Local)), nil
+		}})
+	register(&Func{Name: "namespace-uri", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := nodeArgOrContext(ctx, args)
+			if err != nil || n == nil {
+				return singleton(xdm.NewAnyURI("")), err
+			}
+			return singleton(xdm.NewAnyURI(n.NodeName().Space)), nil
+		}})
+	register(&Func{Name: "root", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true, DocOrder: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := nodeArgOrContext(ctx, args)
+			if err != nil || n == nil {
+				return emptySeq, err
+			}
+			r := n
+			for p := r.Parent(); p != nil; p = p.Parent() {
+				r = p
+			}
+			return xdm.Sequence{r}, nil
+		}})
+	register(&Func{Name: "base-uri", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := nodeArgOrContext(ctx, args)
+			if err != nil || n == nil {
+				return emptySeq, err
+			}
+			if n.BaseURI() == "" {
+				return emptySeq, nil
+			}
+			return singleton(xdm.NewAnyURI(n.BaseURI())), nil
+		}})
+	register(&Func{Name: "document-uri", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			n, err := oneNode(args[0])
+			if err != nil || n == nil {
+				return emptySeq, err
+			}
+			if n.Kind() != xdm.DocumentNode || n.BaseURI() == "" {
+				return emptySeq, nil
+			}
+			return singleton(xdm.NewAnyURI(n.BaseURI())), nil
+		}})
+
+	// ---- documents ----
+	docProps := Properties{Deterministic: true, DocOrder: true, CanRaiseError: true}
+	docCall := func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		if len(args[0]) == 0 {
+			return emptySeq, nil
+		}
+		uri, err := oneString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := ctx.Doc(uri)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Sequence{n}, nil
+	}
+	register(&Func{Name: "doc", MinArgs: 1, MaxArgs: 1, Props: docProps, Call: docCall})
+	// The paper (and XQuery 1.0 working drafts) use document(); keep both.
+	register(&Func{Name: "document", MinArgs: 1, MaxArgs: 1, Props: docProps, Call: docCall})
+	register(&Func{Name: "collection", MinArgs: 1, MaxArgs: 1, Props: docProps,
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			uri, err := oneString(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return ctx.Collection(uri)
+		}})
+
+	// ---- numerics ----
+	register(&Func{Name: "number", MinArgs: 0, MaxArgs: 1,
+		Props: Properties{Deterministic: true, UsesContext: true},
+		Call: func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			var a xdm.Atomic
+			if len(args) == 0 {
+				it, ok := ctx.ContextItem()
+				if !ok {
+					return nil, xdm.Errf("XPDY0002", "fn:number(): no context item")
+				}
+				a = xdm.Atomize(it)
+			} else {
+				var ok bool
+				var err error
+				a, ok, err = oneAtomic(args[0])
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return singleton(xdm.NewDouble(nan())), nil
+				}
+			}
+			d, err := xdm.Cast(a, xdm.TDouble)
+			if err != nil {
+				return singleton(xdm.NewDouble(nan())), nil
+			}
+			return singleton(d), nil
+		}})
+	register(&Func{Name: "abs", MinArgs: 1, MaxArgs: 1, Props: detErr,
+		Call: numericUnary(func(f float64) float64 {
+			if f < 0 {
+				return -f
+			}
+			return f
+		})})
+	register(&Func{Name: "floor", MinArgs: 1, MaxArgs: 1, Props: detErr,
+		Call: numericUnary(floorF)})
+	register(&Func{Name: "ceiling", MinArgs: 1, MaxArgs: 1, Props: detErr,
+		Call: numericUnary(ceilF)})
+	register(&Func{Name: "round", MinArgs: 1, MaxArgs: 1, Props: detErr,
+		Call: numericUnary(func(f float64) float64 { return floorF(f + 0.5) })})
+	register(&Func{Name: "round-half-to-even", MinArgs: 1, MaxArgs: 2, Props: detErr,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			a, ok, err := numericArg(args[0])
+			if err != nil || !ok {
+				return emptySeq, err
+			}
+			f := a.AsFloat()
+			fl := floorF(f)
+			frac := f - fl
+			var r float64
+			switch {
+			case frac < 0.5:
+				r = fl
+			case frac > 0.5:
+				r = fl + 1
+			case int64(fl)%2 == 0:
+				r = fl
+			default:
+				r = fl + 1
+			}
+			return singleton(retypeNumeric(a, r)), nil
+		}})
+
+	// ---- dates ----
+	register(&Func{Name: "current-dateTime", MinArgs: 0, MaxArgs: 0,
+		Props: Properties{Deterministic: false},
+		Call: func(ctx Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+			return singleton(ctx.CurrentDateTime()), nil
+		}})
+	register(&Func{Name: "current-date", MinArgs: 0, MaxArgs: 0,
+		Props: Properties{Deterministic: false},
+		Call: func(ctx Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+			d, err := xdm.Cast(ctx.CurrentDateTime(), xdm.TDate)
+			if err != nil {
+				return nil, err
+			}
+			return singleton(d), nil
+		}})
+	register(&Func{Name: "current-time", MinArgs: 0, MaxArgs: 0,
+		Props: Properties{Deterministic: false},
+		Call: func(ctx Context, _ []xdm.Sequence) (xdm.Sequence, error) {
+			d, err := xdm.Cast(ctx.CurrentDateTime(), xdm.TTime)
+			if err != nil {
+				return nil, err
+			}
+			return singleton(d), nil
+		}})
+	// The paper's sampler: date("2002-5-20") constructor and add-date.
+	register(&Func{Name: "date", MinArgs: 1, MaxArgs: 1, Props: detErr,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			s, err := oneString(args[0])
+			if err != nil {
+				return nil, err
+			}
+			d, err := xdm.Cast(xdm.NewString(s), xdm.TDate)
+			if err != nil {
+				return nil, err
+			}
+			return singleton(d), nil
+		}})
+	register(&Func{Name: "add-date", MinArgs: 2, MaxArgs: 2, Props: detErr,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			d, ok, err := oneAtomic(args[0])
+			if err != nil || !ok {
+				return emptySeq, err
+			}
+			dur, ok, err := oneAtomic(args[1])
+			if err != nil || !ok {
+				return emptySeq, err
+			}
+			r, err := xdm.Arith(xdm.OpAdd, d, dur)
+			if err != nil {
+				return nil, err
+			}
+			return singleton(r), nil
+		}})
+	for _, comp := range []struct {
+		name string
+		from xdm.TypeCode
+		get  func(t time.Time) int64
+	}{
+		{"year-from-dateTime", xdm.TDateTime, func(t time.Time) int64 { return int64(t.Year()) }},
+		{"month-from-dateTime", xdm.TDateTime, func(t time.Time) int64 { return int64(t.Month()) }},
+		{"day-from-dateTime", xdm.TDateTime, func(t time.Time) int64 { return int64(t.Day()) }},
+		{"hours-from-dateTime", xdm.TDateTime, func(t time.Time) int64 { return int64(t.Hour()) }},
+		{"minutes-from-dateTime", xdm.TDateTime, func(t time.Time) int64 { return int64(t.Minute()) }},
+		{"year-from-date", xdm.TDate, func(t time.Time) int64 { return int64(t.Year()) }},
+		{"month-from-date", xdm.TDate, func(t time.Time) int64 { return int64(t.Month()) }},
+		{"day-from-date", xdm.TDate, func(t time.Time) int64 { return int64(t.Day()) }},
+	} {
+		comp := comp
+		register(&Func{Name: comp.name, MinArgs: 1, MaxArgs: 1, Props: detErr,
+			Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+				a, ok, err := oneAtomic(args[0])
+				if err != nil || !ok {
+					return emptySeq, err
+				}
+				if a.T != comp.from {
+					if a, err = xdm.Cast(a, comp.from); err != nil {
+						return nil, err
+					}
+				}
+				t := time.Unix(0, a.I).UTC()
+				return singleton(xdm.NewInteger(comp.get(t))), nil
+			}})
+	}
+
+	// ---- QName helpers ----
+	register(&Func{Name: "QName", MinArgs: 2, MaxArgs: 2, Props: detErr,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			uri, err := oneString(args[0])
+			if err != nil {
+				return nil, err
+			}
+			lex, err := oneString(args[1])
+			if err != nil {
+				return nil, err
+			}
+			prefix, local := xdm.SplitLexical(lex)
+			return singleton(xdm.NewQName(xdm.QName{Space: uri, Local: local, Prefix: prefix})), nil
+		}})
+	register(&Func{Name: "local-name-from-QName", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			a, ok, err := oneAtomic(args[0])
+			if err != nil || !ok {
+				return emptySeq, err
+			}
+			return singleton(xdm.NewString(a.Q.Local)), nil
+		}})
+	register(&Func{Name: "namespace-uri-from-QName", MinArgs: 1, MaxArgs: 1, Props: det,
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			a, ok, err := oneAtomic(args[0])
+			if err != nil || !ok {
+				return emptySeq, err
+			}
+			return singleton(xdm.NewAnyURI(a.Q.Space)), nil
+		}})
+
+	// ---- diagnostics ----
+	register(&Func{Name: "error", MinArgs: 0, MaxArgs: 2,
+		Props: Properties{CanRaiseError: true},
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			code := "FOER0000"
+			msg := "error signalled by fn:error()"
+			if len(args) > 0 && len(args[0]) > 0 {
+				code = xdm.StringValue(args[0][0])
+			}
+			if len(args) > 1 {
+				s, err := oneString(args[1])
+				if err == nil && s != "" {
+					msg = s
+				}
+			}
+			return nil, xdm.Errf(code, "%s", msg)
+		}})
+	register(&Func{Name: "trace", MinArgs: 2, MaxArgs: 2,
+		Props: Properties{Deterministic: false},
+		Call: func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			label, _ := oneString(args[1])
+			fmt.Fprintf(os.Stderr, "trace: %s: %d item(s)\n", label, len(args[0]))
+			return args[0], nil
+		}})
+}
+
+func nodeArgOrContext(ctx Context, args []xdm.Sequence) (xdm.Node, error) {
+	if len(args) == 0 {
+		it, ok := ctx.ContextItem()
+		if !ok {
+			return nil, xdm.Errf("XPDY0002", "no context item")
+		}
+		n, isNode := it.(xdm.Node)
+		if !isNode {
+			return nil, typeErr("context item is not a node")
+		}
+		return n, nil
+	}
+	return oneNode(args[0])
+}
+
+func numericUnary(f func(float64) float64) func(Context, []xdm.Sequence) (xdm.Sequence, error) {
+	return func(_ Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		a, ok, err := numericArg(args[0])
+		if err != nil || !ok {
+			return emptySeq, err
+		}
+		return singleton(retypeNumeric(a, f(a.AsFloat()))), nil
+	}
+}
+
+// retypeNumeric rebuilds a numeric result in the type family of the input.
+func retypeNumeric(in xdm.Atomic, f float64) xdm.Atomic {
+	switch in.T {
+	case xdm.TInteger:
+		return xdm.NewInteger(int64(f))
+	case xdm.TDecimal:
+		return xdm.NewDecimalFloat(f)
+	case xdm.TFloat:
+		return xdm.NewFloat(f)
+	default:
+		return xdm.NewDouble(f)
+	}
+}
+
+func floorF(f float64) float64 {
+	i := float64(int64(f))
+	if f < i {
+		return i - 1
+	}
+	return i
+}
+
+func ceilF(f float64) float64 {
+	i := float64(int64(f))
+	if f > i {
+		return i + 1
+	}
+	return i
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

@@ -1,0 +1,163 @@
+// Package functions implements the F&O built-in function library. Each
+// function carries a declarative property record (order preservation, node
+// creation, context use, determinism) — per the paper, "this information is
+// given declaratively, not hard coded in the query processor": the optimizer
+// and runtime consult the table instead of switching on names.
+package functions
+
+import (
+	"fmt"
+
+	"xqgo/internal/xdm"
+)
+
+// Context is the slice of the dynamic context visible to built-ins. The
+// runtime's evaluation frame implements it.
+type Context interface {
+	// ContextItem returns the current context item; the bool is false when
+	// the context item is undefined.
+	ContextItem() (xdm.Item, bool)
+	// Position and Size return the focus position/size (1-based), valid
+	// when a context item exists.
+	Position() int64
+	Size() (int64, error)
+	// Doc resolves a document URI (fn:doc / the paper's document()).
+	Doc(uri string) (xdm.Node, error)
+	// Collection resolves a collection URI.
+	Collection(uri string) (xdm.Sequence, error)
+	// CurrentDateTime is the (stable) current dateTime of the evaluation.
+	CurrentDateTime() xdm.Atomic
+}
+
+// Properties is the declarative semantic record of a first-order operator.
+type Properties struct {
+	// DocOrder: result is guaranteed in document order, duplicate-free.
+	DocOrder bool
+	// CreatesNodes: the function can return newly constructed nodes.
+	CreatesNodes bool
+	// UsesContext / UsesPosition: depends on the focus.
+	UsesContext  bool
+	UsesPosition bool
+	// Deterministic: same args, same result (false for current-dateTime
+	// within different executions, trace, error).
+	Deterministic bool
+	// TransparentToErrors: can be reordered across error-raising
+	// expressions (used by the optimizer for CSE / reordering).
+	CanRaiseError bool
+}
+
+// Func is one built-in function (one arity range).
+type Func struct {
+	Name    string // local name in the fn namespace
+	MinArgs int
+	MaxArgs int // -1 for variadic (fn:concat)
+	Props   Properties
+	Call    func(ctx Context, args []xdm.Sequence) (xdm.Sequence, error)
+}
+
+// registry maps local name -> Func.
+var registry = map[string]*Func{}
+
+func register(f *Func) {
+	if _, dup := registry[f.Name]; dup {
+		panic("functions: duplicate registration of " + f.Name)
+	}
+	registry[f.Name] = f
+}
+
+// Lookup finds a built-in by local name (within the fn namespace) and
+// checks the arity. A nil return with ok=false means unknown name.
+func Lookup(local string, nargs int) (*Func, error) {
+	f, ok := registry[local]
+	if !ok {
+		return nil, nil
+	}
+	if nargs < f.MinArgs || (f.MaxArgs >= 0 && nargs > f.MaxArgs) {
+		return nil, fmt.Errorf("fn:%s expects %s, got %d arguments",
+			local, arityString(f), nargs)
+	}
+	return f, nil
+}
+
+// Known reports whether a local name is a registered built-in.
+func Known(local string) bool {
+	_, ok := registry[local]
+	return ok
+}
+
+func arityString(f *Func) string {
+	if f.MaxArgs < 0 {
+		return fmt.Sprintf("at least %d", f.MinArgs)
+	}
+	if f.MinArgs == f.MaxArgs {
+		return fmt.Sprintf("%d", f.MinArgs)
+	}
+	return fmt.Sprintf("%d..%d", f.MinArgs, f.MaxArgs)
+}
+
+// ---- shared helpers ----
+
+// errEmpty is returned where a required argument is an empty sequence.
+func typeErr(format string, args ...any) error { return xdm.ErrType(format, args...) }
+
+// oneAtomic atomizes a single-item argument; empty yields ok=false.
+func oneAtomic(seq xdm.Sequence) (xdm.Atomic, bool, error) {
+	switch len(seq) {
+	case 0:
+		return xdm.Atomic{}, false, nil
+	case 1:
+		return xdm.Atomize(seq[0]), true, nil
+	default:
+		return xdm.Atomic{}, false, typeErr("expected at most one item, got %d", len(seq))
+	}
+}
+
+// oneString returns the string value of an optional single-item argument
+// (empty sequence yields "").
+func oneString(seq xdm.Sequence) (string, error) {
+	a, ok, err := oneAtomic(seq)
+	if err != nil || !ok {
+		return "", err
+	}
+	return a.Lexical(), nil
+}
+
+// oneNode returns a single node argument; empty yields nil.
+func oneNode(seq xdm.Sequence) (xdm.Node, error) {
+	switch len(seq) {
+	case 0:
+		return nil, nil
+	case 1:
+		n, ok := seq[0].(xdm.Node)
+		if !ok {
+			return nil, typeErr("expected a node")
+		}
+		return n, nil
+	default:
+		return nil, typeErr("expected at most one node, got %d items", len(seq))
+	}
+}
+
+// numericArg casts an optional single atomic to double for numeric
+// built-ins, reporting presence.
+func numericArg(seq xdm.Sequence) (xdm.Atomic, bool, error) {
+	a, ok, err := oneAtomic(seq)
+	if err != nil || !ok {
+		return xdm.Atomic{}, ok, err
+	}
+	if a.T == xdm.TUntyped {
+		d, err := xdm.Cast(a, xdm.TDouble)
+		if err != nil {
+			return xdm.Atomic{}, false, err
+		}
+		return d, true, nil
+	}
+	if !a.T.IsNumeric() {
+		return xdm.Atomic{}, false, typeErr("expected a numeric value, got %s", a.T)
+	}
+	return a, true, nil
+}
+
+func singleton(a xdm.Atomic) xdm.Sequence { return xdm.Sequence{a} }
+
+var emptySeq = xdm.Sequence{}

@@ -1,0 +1,95 @@
+// Package labeling provides node-labeling schemes for XML trees: the
+// (start, end, level) region encoding used by structural joins and an
+// ORDPATH-style Dewey encoding. Labels answer the structural predicates —
+// ancestor/descendant, parent/child, document order — in O(1) (region) or
+// O(depth) (Dewey) without touching the tree, which is what makes
+// merge/stack-based structural joins possible.
+package labeling
+
+// Region is an interval label: Start and End are pre/post-style positions
+// with Start < child.Start <= child.End < End for every descendant, and
+// Level is the depth from the root (root = 0).
+type Region struct {
+	Start int64
+	End   int64
+	Level int32
+}
+
+// Contains reports whether r is a proper ancestor of o (o strictly inside r).
+func (r Region) Contains(o Region) bool {
+	return r.Start < o.Start && o.End <= r.End
+}
+
+// ParentOf reports whether r is the parent of o.
+func (r Region) ParentOf(o Region) bool {
+	return r.Contains(o) && r.Level+1 == o.Level
+}
+
+// Before reports whether r precedes o in document order (and is not an
+// ancestor of o).
+func (r Region) Before(o Region) bool { return r.End < o.Start }
+
+// Compare orders two regions by document order of their start positions.
+func (r Region) Compare(o Region) int {
+	switch {
+	case r.Start < o.Start:
+		return -1
+	case r.Start > o.Start:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Dewey is a Dewey-decimal label: the path of 1-based sibling ordinals from
+// the root. The root element has label [1]; its second child [1 2]; etc.
+type Dewey []uint32
+
+// IsAncestorOf reports whether d is a proper ancestor of o.
+func (d Dewey) IsAncestorOf(o Dewey) bool {
+	if len(d) >= len(o) {
+		return false
+	}
+	for i, c := range d {
+		if o[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParentOf reports whether d is the parent of o.
+func (d Dewey) IsParentOf(o Dewey) bool {
+	return len(d)+1 == len(o) && d.IsAncestorOf(o)
+}
+
+// Compare orders two Dewey labels in document order.
+func (d Dewey) Compare(o Dewey) int {
+	n := len(d)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case d[i] < o[i]:
+			return -1
+		case d[i] > o[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(d) < len(o):
+		return -1 // ancestor precedes descendant
+	case len(d) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Level returns the depth encoded by the label (len - 1 for the root's
+// children convention used here: root has level 0 and label length 1).
+func (d Dewey) Level() int32 { return int32(len(d)) - 1 }
+
+// Clone returns an independent copy of the label.
+func (d Dewey) Clone() Dewey { return append(Dewey(nil), d...) }

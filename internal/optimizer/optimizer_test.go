@@ -1,0 +1,398 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/runtime"
+	"xqgo/internal/serializer"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xmlparse"
+	"xqgo/internal/xqparse"
+)
+
+// optimize parses a query and runs the optimizer with the given options.
+func optimize(t *testing.T, src string, opts Options) *expr.Query {
+	t.Helper()
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Optimize(q, opts)
+}
+
+func planOf(t *testing.T, src string, opts Options) string {
+	t.Helper()
+	return expr.String(optimize(t, src, opts).Body)
+}
+
+func TestConstFold(t *testing.T) {
+	cases := map[string]string{
+		`1 + 2 * 3`:                      `7`,
+		`-(2 + 3)`:                       `-5`,
+		`1 eq 1`:                         `true`,
+		`"a" lt "b"`:                     `true`,
+		`if (1 eq 1) then "y" else "n"`:  `"y"`,
+		`if (false()) then "y" else "n"`: `"n"`,
+		`"42" cast as xs:integer`:        `42`,
+		`concat("a", "b")`:               `"ab"`,
+		`true() and false()`:             `false`,
+		`1 eq 2 and $x`:                  `false`, // short-circuit fold
+		`1 eq 1 or $x`:                   `true`,
+	}
+	for src, want := range cases {
+		if got := planOf(t, src, Only(RuleConstFold)); got != want {
+			t.Errorf("const-fold %q = %s, want %s", src, got, want)
+		}
+	}
+	// Error-raising expressions must NOT fold.
+	for _, src := range []string{`1 idiv 0`, `"x" cast as xs:integer`} {
+		got := planOf(t, src, Only(RuleConstFold))
+		if !strings.Contains(got, "idiv") && !strings.Contains(got, "cast") {
+			t.Errorf("%q folded away a runtime error: %s", src, got)
+		}
+	}
+}
+
+func TestLetFold(t *testing.T) {
+	// Single non-loop use: substituted.
+	got := planOf(t, `let $x := 1 + $y return $x`, Only(RuleLetFold))
+	if strings.Contains(got, "let") {
+		t.Errorf("single-use let not folded: %s", got)
+	}
+	// Unused let: dropped.
+	got = planOf(t, `let $dead := f($y) return 42`, Only(RuleLetFold))
+	if strings.Contains(got, "dead") {
+		t.Errorf("unused let not dropped: %s", got)
+	}
+	// Node-constructing let with multiple uses must NOT fold (the paper's
+	// ($x, $x) identity example).
+	got = planOf(t, `let $x := <a/> return ($x, $x)`, Only(RuleLetFold))
+	if !strings.Contains(got, "let") {
+		t.Errorf("constructor let with 2 uses folded: %s", got)
+	}
+	// Trivial binding folds regardless of use count.
+	got = planOf(t, `let $x := $y return ($x, $x)`, Only(RuleLetFold))
+	if strings.Contains(got, "let") {
+		t.Errorf("trivial let not folded: %s", got)
+	}
+	// Use inside a loop must not fold an expensive binding.
+	got = planOf(t, `let $x := f($y) return for $i in (1,2,3) return $x`, Only(RuleLetFold))
+	if !strings.Contains(got, "let") {
+		t.Errorf("loop-used let folded: %s", got)
+	}
+}
+
+func TestFnInline(t *testing.T) {
+	got := planOf(t, `declare function local:sq($x) { $x * $x }; local:sq(4)`,
+		Only(RuleFnInline))
+	if strings.Contains(got, "local:sq") || strings.Contains(got, "sq(") {
+		t.Errorf("non-recursive function not inlined: %s", got)
+	}
+	// Recursive functions are never inlined.
+	got = planOf(t, `declare function local:f($n) { if ($n le 0) then 0 else local:f($n - 1) }; local:f(3)`,
+		Only(RuleFnInline))
+	if !strings.Contains(got, "f(") {
+		t.Errorf("recursive function was inlined: %s", got)
+	}
+	// Mutually recursive functions are never inlined.
+	got = planOf(t, `
+	  declare function local:a($n) { local:b($n) };
+	  declare function local:b($n) { if ($n le 0) then 0 else local:a($n - 1) };
+	  local:a(3)`, Only(RuleFnInline))
+	if !strings.Contains(got, "a(") && !strings.Contains(got, "b(") {
+		t.Errorf("mutually recursive functions inlined: %s", got)
+	}
+}
+
+func TestFlworUnnest(t *testing.T) {
+	src := `for $x in (for $y in $input where $y eq 3 return $y) return $x + 1`
+	got := planOf(t, src, Only(RuleFlworUnnest))
+	// The nested FLWOR in the for-clause input should be gone.
+	if strings.Contains(got, "in (for") || strings.Contains(got, "in for") {
+		t.Errorf("nested FLWOR not unnested: %s", got)
+	}
+	// Positional variables block unnesting.
+	src2 := `for $x at $i in (for $y in $input return $y) return $i`
+	got2 := planOf(t, src2, Only(RuleFlworUnnest))
+	if !strings.Contains(got2, "at $i") {
+		t.Errorf("positional unnest mangled the query: %s", got2)
+	}
+}
+
+func TestPathOrderAnnotation(t *testing.T) {
+	q := optimize(t, `/a/b/c`, Only(RulePathOrder))
+	count := 0
+	expr.Walk(q.Body, func(e expr.Expr) bool {
+		if p, ok := e.(*expr.Path); ok && p.NoReorder {
+			count++
+		}
+		return true
+	})
+	if count == 0 {
+		t.Error("/a/b/c should have NoReorder paths")
+	}
+	// //a//b must keep its sort at the outermost path.
+	q2 := optimize(t, `//a//b`, Only(RulePathOrder))
+	outer := q2.Body.(*expr.Path)
+	if outer.NoReorder {
+		t.Error("//a//b outer path must keep the reorder step")
+	}
+	// for-variable paths: for $x in /r/a return $x/b — $x is one node, so
+	// $x/b is sorted/distinct.
+	q3 := optimize(t, `for $x in /r/a return $x/b`, Only(RulePathOrder))
+	f := q3.Body.(*expr.Flwor)
+	if p, ok := f.Ret.(*expr.Path); !ok || !p.NoReorder {
+		t.Errorf("for-variable child path should elide reorder: %s", expr.String(q3.Body))
+	}
+}
+
+func TestParentElim(t *testing.T) {
+	got := planOf(t, `$x/a/..`, Only(RuleParentElim))
+	if strings.Contains(got, "parent") {
+		t.Errorf("$x/a/.. still navigates backwards: %s", got)
+	}
+	if !strings.Contains(got, "[") {
+		t.Errorf("$x/a/.. should become a filter: %s", got)
+	}
+}
+
+func TestNoNodeIDsMarking(t *testing.T) {
+	q := optimize(t, `for $i in (1,2) return <r><nested/></r>`, Only(RuleNoNodeIDs))
+	marked := 0
+	expr.Walk(q.Body, func(e expr.Expr) bool {
+		if c, ok := e.(*expr.ElemConstructor); ok && c.NoNodeIDs {
+			marked++
+		}
+		return true
+	})
+	if marked != 2 {
+		t.Errorf("marked %d constructors, want 2 (outer + nested)", marked)
+	}
+	// Constructors bound to variables are NOT in output position.
+	q2 := optimize(t, `let $x := <a/> return count(($x, $x))`, Only(RuleNoNodeIDs))
+	expr.Walk(q2.Body, func(e expr.Expr) bool {
+		if c, ok := e.(*expr.ElemConstructor); ok && c.NoNodeIDs {
+			t.Error("variable-bound constructor must not be marked")
+		}
+		return true
+	})
+}
+
+func TestCSE(t *testing.T) {
+	src := `for $b in $input/book return (count($b/title/text()) , count($b/title/text()))`
+	got := planOf(t, src, Only(RuleCSE))
+	if !strings.Contains(got, "cse") {
+		t.Errorf("duplicate subtree not factored: %s", got)
+	}
+	// Node-creating expressions must not be factored.
+	src2 := `for $b in $input return (<a/>, <a/>)`
+	got2 := planOf(t, src2, Only(RuleCSE))
+	if strings.Contains(got2, "cse") {
+		t.Errorf("constructors must not be CSE'd: %s", got2)
+	}
+}
+
+// TestOptimizerEquivalence is the differential harness: a corpus of queries
+// is evaluated with the optimizer off and with every rule on (both
+// engines); all four results must agree.
+func TestOptimizerEquivalence(t *testing.T) {
+	const doc = `<r><a id="1"><b>x</b><b>y</b></a><a id="2"><b>z</b></a><c>lone</c></r>`
+	corpus := []string{
+		`count(/r/a)`,
+		`/r/a/b`,
+		`//b`,
+		`//a/b`,
+		`string-join(for $b in //b return string($b), ",")`,
+		`for $x in /r/a let $n := count($x/b) where $n ge 1 return concat($x/@id, ":", $n)`,
+		`let $u := "unused" return 7`,
+		`declare function local:f($v) { $v * 3 }; local:f(2) + local:f(3)`,
+		`for $x in (for $y in /r/a return $y/b) return string($x)`,
+		`<out>{for $a in /r/a return <copy id="{$a/@id}">{count($a/b)}</copy>}</out>`,
+		`/r/a/..`,
+		`(1 + 2) * (1 + 2)`,
+		`some $b in //b satisfies string($b) eq "z"`,
+		`for $a in /r/a order by string($a/@id) descending return string($a/@id)`,
+		`(//b)[2]/string(.)`,
+		`(count(//b) treat as xs:integer) + 1`,
+		`for $a in /r/a group by $k := count($a/b) order by $k return concat($k, "=", count($a))`,
+		`try { sum(for $b in //b return string-length($b)) } catch * { -1 }`,
+		`element wrap { attribute n { count(//b) }, //c }`,
+	}
+	parsed, err := xmlparse.ParseString(doc, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := func() *runtime.Dynamic {
+		return &runtime.Dynamic{ContextItem: parsed.RootNode()}
+	}
+	for _, src := range corpus {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			var results []string
+			for _, mode := range []struct {
+				opt   bool
+				eager bool
+			}{
+				{false, false}, {true, false}, {false, true}, {true, true},
+			} {
+				q, err := xqparse.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mode.opt {
+					q = Optimize(q, Options{})
+				}
+				p, err := runtime.Compile(q, runtime.Options{Eager: mode.eager})
+				if err != nil {
+					t.Fatalf("compile (opt=%v eager=%v): %v", mode.opt, mode.eager, err)
+				}
+				seq, err := p.Eval(dyn())
+				if err != nil {
+					t.Fatalf("eval (opt=%v eager=%v): %v", mode.opt, mode.eager, err)
+				}
+				s, err := serializer.SequenceToString(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, s)
+			}
+			for i := 1; i < len(results); i++ {
+				if results[i] != results[0] {
+					t.Errorf("mode %d disagrees:\n base %q\n got  %q", i, results[0], results[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRuleContract checks the paper's rewriting-rule contract: free
+// variables of the rewritten expression are a subset of the original's.
+func TestRuleContract(t *testing.T) {
+	corpus := []string{
+		`let $x := $a + 1 return $x * $x`,
+		`for $x in (for $y in $src return $y) return $x`,
+		`declare function local:g($v) { $v + $w }; local:g($a)`,
+	}
+	for _, src := range corpus {
+		orig, err := xqparse.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := expr.FreeVars(orig.Body)
+		// Inlining can surface a function body's free variables in the
+		// main expression; they were already free in the query as a whole.
+		for i := range orig.Funcs {
+			bodyFree := expr.FreeVars(orig.Funcs[i].Body)
+			for v := range bodyFree {
+				before[v] = true
+			}
+		}
+		opt, err := xqparse.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt = Optimize(opt, Options{})
+		after := expr.FreeVars(opt.Body)
+		for v := range after {
+			if !before[v] && !strings.Contains(v, "urn:xqgo") {
+				t.Errorf("%q: rewrite introduced free variable %s", src, v)
+			}
+		}
+	}
+}
+
+func TestDisableAndOnly(t *testing.T) {
+	d := Disable(RuleConstFold)
+	if !d.Disabled[RuleConstFold] || d.Disabled[RuleLetFold] {
+		t.Error("Disable")
+	}
+	o := Only(RuleConstFold)
+	if o.Disabled[RuleConstFold] || !o.Disabled[RuleLetFold] {
+		t.Error("Only")
+	}
+	// NoOptimize equivalent: everything disabled leaves the tree unchanged.
+	src := `1 + 2`
+	got := planOf(t, src, Disable(AllRules...))
+	if got != `(1 + 2)` {
+		t.Errorf("all-disabled changed the tree: %s", got)
+	}
+}
+
+func TestOptimizeIsIdempotentish(t *testing.T) {
+	src := `declare function local:sq($x) { $x * $x };
+	  for $b in $in/book let $t := $b/title where local:sq(2) eq 4 return ($t, $t)`
+	q1 := optimize(t, src, Options{})
+	s1 := expr.String(q1.Body)
+	q2 := Optimize(q1, Options{})
+	s2 := expr.String(q2.Body)
+	if countRune(s2, '$') > countRune(s1, '$')+4 {
+		t.Errorf("re-optimization keeps growing:\n1: %s\n2: %s", s1, s2)
+	}
+}
+
+func countRune(s string, r rune) int {
+	n := 0
+	for _, c := range s {
+		if c == r {
+			n++
+		}
+	}
+	return n
+}
+
+var _ = xdm.NewInteger // keep the import for helpers below if unused
+
+func TestTypeRewrite(t *testing.T) {
+	// treat over a statically known integer disappears.
+	got := planOf(t, `(3 treat as xs:integer) + 1`, Only(RuleTypeRewrite))
+	if strings.Contains(got, "treat") {
+		t.Errorf("redundant treat kept: %s", got)
+	}
+	// instance-of folds to true when guaranteed.
+	got = planOf(t, `count($x) instance of xs:integer`, Only(RuleTypeRewrite))
+	if got != "true" {
+		t.Errorf("guaranteed instance-of not folded: %s", got)
+	}
+	// Possibly-failing treats stay.
+	got = planOf(t, `$x treat as xs:integer`, Only(RuleTypeRewrite))
+	if !strings.Contains(got, "treat") {
+		t.Errorf("needed treat removed: %s", got)
+	}
+	// Constructed element matches element(name).
+	got = planOf(t, `<a/> instance of element(a)`, Only(RuleTypeRewrite))
+	if got != "true" {
+		t.Errorf("constructor instance-of not folded: %s", got)
+	}
+	// Not-guaranteed instance-of stays.
+	got = planOf(t, `$x instance of element(a)`, Only(RuleTypeRewrite))
+	if !strings.Contains(got, "instance of") {
+		t.Errorf("uncertain instance-of folded: %s", got)
+	}
+}
+
+func TestInferBasics(t *testing.T) {
+	cases := map[string]string{
+		`3`:                        "xs:integer",
+		`"s"`:                      "xs:string",
+		`(1, 2, 3)`:                "xs:integer+",
+		`()`:                       "empty-sequence()",
+		`1 to 5`:                   "xs:integer*",
+		`1 + 2`:                    "xs:integer",
+		`<a/>`:                     "element(a)",
+		`attribute b {1}`:          "attribute(b)",
+		`if (1) then 1 else ()`:    "xs:integer?",
+		`count($x)`:                "xs:integer",
+		`for $i in (1,2) return 3`: "xs:integer*",
+	}
+	for src, want := range cases {
+		q, err := xqparse.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if got := expr.Infer(q.Body, nil).String(); got != want {
+			t.Errorf("Infer(%q) = %s, want %s", src, got, want)
+		}
+	}
+}

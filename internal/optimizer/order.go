@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+)
+
+// ---- doc-order / duplicate-elimination elision (E8) ----
+
+// annotatePathOrder walks the tree maintaining an environment of variable
+// order properties and sets Path.NoReorder wherever the step table proves
+// the result is already in document order and duplicate-free:
+//
+//	$document/a/b/c   — sorted, distinct     -> elide
+//	$document/a//b    — sorted, distinct     -> elide
+//	$document//a/b    — not sorted           -> keep
+//	$document/a/../b  — nothing guaranteed   -> keep
+func (o *optimizer) annotatePathOrder(e expr.Expr, env map[string]expr.OrderProps) expr.Expr {
+	if env == nil {
+		env = map[string]expr.OrderProps{}
+	}
+	lookup := func(q xdm.QName) expr.OrderProps { return env[q.Clark()] }
+
+	switch n := e.(type) {
+	case *expr.Path:
+		out := *n
+		out.L = o.annotatePathOrder(n.L, env)
+		out.R = o.annotatePathOrder(n.R, env)
+		props := expr.Props(&out, lookup)
+		if props.Sorted && props.Distinct {
+			out.NoReorder = true
+		}
+		return &out
+
+	case *expr.Flwor:
+		out := *n
+		out.Clauses = append([]expr.Clause(nil), n.Clauses...)
+		// Child scopes extend the environment.
+		child := map[string]expr.OrderProps{}
+		for k, v := range env {
+			child[k] = v
+		}
+		for i := range out.Clauses {
+			out.Clauses[i].In = o.annotatePathOrder(out.Clauses[i].In, child)
+			if out.Clauses[i].Kind == expr.ForClause {
+				// A for-variable is a single item: trivially sorted,
+				// distinct, and a single subtree root.
+				child[out.Clauses[i].Var.Clark()] = expr.OrderProps{
+					Sorted: true, Distinct: true, Disjoint: true,
+				}
+			} else {
+				child[out.Clauses[i].Var.Clark()] =
+					expr.Props(out.Clauses[i].In, func(q xdm.QName) expr.OrderProps { return child[q.Clark()] })
+			}
+			if !out.Clauses[i].PosVar.IsZero() {
+				child[out.Clauses[i].PosVar.Clark()] = expr.OrderProps{Sorted: true, Distinct: true}
+			}
+		}
+		if out.Where != nil {
+			out.Where = o.annotatePathOrder(out.Where, child)
+		}
+		out.Group = append([]expr.GroupSpec(nil), n.Group...)
+		for i := range out.Group {
+			out.Group[i].Key = o.annotatePathOrder(out.Group[i].Key, child)
+			child[out.Group[i].Var.Clark()] = expr.OrderProps{}
+		}
+		out.Order = append([]expr.OrderSpec(nil), n.Order...)
+		for i := range out.Order {
+			out.Order[i].Key = o.annotatePathOrder(out.Order[i].Key, child)
+		}
+		out.Ret = o.annotatePathOrder(out.Ret, child)
+		return &out
+
+	case *expr.Quantified:
+		out := *n
+		out.Binds = append([]expr.QBind(nil), n.Binds...)
+		child := map[string]expr.OrderProps{}
+		for k, v := range env {
+			child[k] = v
+		}
+		for i := range out.Binds {
+			out.Binds[i].In = o.annotatePathOrder(out.Binds[i].In, child)
+			child[out.Binds[i].Var.Clark()] = expr.OrderProps{
+				Sorted: true, Distinct: true, Disjoint: true,
+			}
+		}
+		out.Satisfies = o.annotatePathOrder(out.Satisfies, child)
+		return &out
+	}
+
+	children := e.Children()
+	if len(children) == 0 {
+		return e
+	}
+	newChildren := make([]expr.Expr, len(children))
+	changed := false
+	for i, c := range children {
+		newChildren[i] = o.annotatePathOrder(c, env)
+		if newChildren[i] != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	return e.WithChildren(newChildren)
+}
+
+// ---- on-demand node identifiers (E7) ----
+
+// markOutputConstructors marks element constructors sitting in "output
+// position" — their value flows straight to the result — as NoNodeIDs:
+// their trees can be emitted as tokens with no identity assignment. The
+// runtime falls back to materializing when such a node is navigated after
+// all, so the marking only needs to be plausible, not proven.
+func markOutputConstructors(e expr.Expr) expr.Expr {
+	switch n := e.(type) {
+	case *expr.ElemConstructor:
+		out := *n
+		out.NoNodeIDs = true
+		// Content expressions are emitted through the streaming path too;
+		// mark nested constructors recursively.
+		out.Content = append([]expr.Expr(nil), n.Content...)
+		for i := range out.Content {
+			out.Content[i] = markOutputConstructors(out.Content[i])
+		}
+		return &out
+	case *expr.Seq:
+		out := *n
+		out.Items = append([]expr.Expr(nil), n.Items...)
+		for i := range out.Items {
+			out.Items[i] = markOutputConstructors(out.Items[i])
+		}
+		return &out
+	case *expr.Flwor:
+		out := *n
+		out.Ret = markOutputConstructors(n.Ret)
+		return &out
+	case *expr.If:
+		out := *n
+		out.Then = markOutputConstructors(n.Then)
+		out.Else = markOutputConstructors(n.Else)
+		return &out
+	case *expr.Typeswitch:
+		out := *n
+		out.Cases = append([]expr.TSCase(nil), n.Cases...)
+		for i := range out.Cases {
+			out.Cases[i].Body = markOutputConstructors(out.Cases[i].Body)
+		}
+		out.Default = markOutputConstructors(n.Default)
+		return &out
+	}
+	return e
+}

@@ -1,0 +1,551 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/functions"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// ---- constant folding ----
+
+// constFold evaluates constant sub-expressions at compile time: arithmetic,
+// value comparisons and logic over literals, literal conditionals, and
+// constant casts. Expressions that would raise errors are left alone (the
+// error must be raised at run time, and only if evaluated).
+func constFold(x expr.Expr) expr.Expr {
+	switch n := x.(type) {
+	case *expr.Arith:
+		l, okL := literalOf(n.L)
+		r, okR := literalOf(n.R)
+		if !okL || !okR {
+			return nil
+		}
+		v, err := xdm.Arith(n.Op, l, r)
+		if err != nil {
+			return nil // fold would hide a runtime error
+		}
+		return expr.NewLiteral(n.Span(), v)
+	case *expr.Neg:
+		l, ok := literalOf(n.X)
+		if !ok {
+			return nil
+		}
+		v, err := xdm.Negate(l)
+		if err != nil {
+			return nil
+		}
+		return expr.NewLiteral(n.Span(), v)
+	case *expr.Compare:
+		l, okL := literalOf(n.L)
+		r, okR := literalOf(n.R)
+		if !okL || !okR {
+			return nil
+		}
+		var v bool
+		var err error
+		if n.Kind == expr.CompValue {
+			v, err = xdm.ValueCompare(n.Op, l, r)
+		} else {
+			v, err = xdm.GeneralCompareItems(n.Op, l, r)
+		}
+		if err != nil {
+			return nil
+		}
+		return expr.NewLiteral(n.Span(), xdm.NewBoolean(v))
+	case *expr.Logic:
+		l, okL := literalOf(n.L)
+		if okL {
+			lb, err := xdm.EffectiveBooleanItem(l)
+			if err != nil {
+				return nil
+			}
+			// Short-circuit folding is always safe; folding away the other
+			// side is safe because and/or may skip errors
+			// non-deterministically per the paper.
+			if n.And && !lb {
+				return expr.NewLiteral(n.Span(), xdm.False)
+			}
+			if !n.And && lb {
+				return expr.NewLiteral(n.Span(), xdm.True)
+			}
+			// a and X == ebv(X) is not expressible without fn:boolean; keep.
+		}
+		r, okR := literalOf(n.R)
+		if okL && okR {
+			lb, err1 := xdm.EffectiveBooleanItem(l)
+			rb, err2 := xdm.EffectiveBooleanItem(r)
+			if err1 != nil || err2 != nil {
+				return nil
+			}
+			if n.And {
+				return expr.NewLiteral(n.Span(), xdm.NewBoolean(lb && rb))
+			}
+			return expr.NewLiteral(n.Span(), xdm.NewBoolean(lb || rb))
+		}
+		return nil
+	case *expr.If:
+		l, ok := literalOf(n.Cond)
+		if !ok {
+			return nil
+		}
+		b, err := xdm.EffectiveBooleanItem(l)
+		if err != nil {
+			return nil
+		}
+		if b {
+			return n.Then
+		}
+		return n.Else
+	case *expr.Cast:
+		l, ok := literalOf(n.X)
+		if !ok || n.T == xdm.TQName { // QName casts are context sensitive
+			return nil
+		}
+		if n.Castable {
+			return expr.NewLiteral(n.Span(), xdm.NewBoolean(xdm.Castable(l, n.T)))
+		}
+		v, err := xdm.Cast(l, n.T)
+		if err != nil {
+			return nil
+		}
+		return expr.NewLiteral(n.Span(), v)
+	case *expr.Call:
+		// Fold deterministic, error-free built-ins over literal arguments
+		// (fn:true, fn:concat of literals, fn:not(fn:true()), ...).
+		if n.Name.Space != "http://www.w3.org/2005/xpath-functions" && n.Name.Space != "" {
+			return nil
+		}
+		f, err := functions.Lookup(n.Name.Local, len(n.Args))
+		if f == nil || err != nil || !f.Props.Deterministic ||
+			f.Props.UsesContext || f.Props.CanRaiseError {
+			return nil
+		}
+		args := make([]xdm.Sequence, len(n.Args))
+		for i, a := range n.Args {
+			switch arg := a.(type) {
+			case *expr.Literal:
+				args[i] = xdm.Sequence{arg.Val}
+			case *expr.Seq:
+				if len(arg.Items) != 0 {
+					return nil
+				}
+				args[i] = xdm.Sequence{}
+			default:
+				return nil
+			}
+		}
+		out, err := f.Call(nil, args)
+		if err != nil || len(out) != 1 {
+			return nil
+		}
+		a, ok := out[0].(xdm.Atomic)
+		if !ok {
+			return nil
+		}
+		return expr.NewLiteral(n.Span(), a)
+	}
+	return nil
+}
+
+func literalOf(e expr.Expr) (xdm.Atomic, bool) {
+	l, ok := e.(*expr.Literal)
+	if !ok {
+		return xdm.Atomic{}, false
+	}
+	return l.Val, true
+}
+
+// ---- LET folding ----
+
+// foldLets applies the paper's LET-clause folding with its two safety
+// conditions: (1) the bound expression never creates new nodes, OR the
+// variable is used at most once and not inside a loop; (2) namespace
+// context sensitivity does not arise because prefixes were resolved at
+// parse time (the paper's "namespace resolution during query analysis" case
+// — "(1) is not a problem"). Unused lets are dropped outright: the lazy
+// runtime would never evaluate them anyway.
+func (o *optimizer) foldLets(x expr.Expr) expr.Expr {
+	f, ok := x.(*expr.Flwor)
+	if !ok || len(f.Group) > 0 {
+		return nil
+	}
+	for i, cl := range f.Clauses {
+		if cl.Kind != expr.LetClause || cl.Type != nil {
+			continue
+		}
+		// Scope of the variable: later clauses + where + order + return.
+		rest := restOfFlwor(f, i+1)
+		uses := expr.UsesOf(rest, cl.Var)
+		shadowedLater := false
+		for _, later := range f.Clauses[i+1:] {
+			if later.Var.Equal(cl.Var) || later.PosVar.Equal(cl.Var) {
+				shadowedLater = true
+			}
+		}
+		if shadowedLater {
+			continue
+		}
+		switch {
+		case uses.Count == 0:
+			return dropClause(f, i)
+		case isTrivial(cl.In):
+			return substituteClause(f, i, cl)
+		case uses.Count == 1 && !uses.InLoop:
+			return substituteClause(f, i, cl)
+		case !expr.CreatesNodes(cl.In, callCreatesNodes) && !expr.CanRaiseError(cl.In) &&
+			uses.Count == 1:
+			return substituteClause(f, i, cl)
+		}
+	}
+	return nil
+}
+
+// restOfFlwor packages the part of a FLWOR after clause index i as a single
+// expression for analysis purposes.
+func restOfFlwor(f *expr.Flwor, from int) expr.Expr {
+	rest := &expr.Flwor{Base: expr.Base{P: f.Span()}, Ret: f.Ret, Where: f.Where}
+	rest.Clauses = append([]expr.Clause(nil), f.Clauses[from:]...)
+	rest.Order = f.Order
+	if len(rest.Clauses) == 0 {
+		// Analysis helpers need a syntactically valid FLWOR; add a dummy
+		// let that binds nothing anyone references.
+		rest.Clauses = []expr.Clause{{
+			Kind: expr.LetClause,
+			Var:  xdm.QName{Space: "urn:xqgo:opt", Local: "dummy"},
+			In:   &expr.Seq{Base: expr.Base{P: f.Span()}},
+		}}
+	}
+	return rest
+}
+
+func dropClause(f *expr.Flwor, i int) expr.Expr {
+	out := *f
+	out.Clauses = append(append([]expr.Clause(nil), f.Clauses[:i]...), f.Clauses[i+1:]...)
+	if len(out.Clauses) == 0 {
+		if out.Where == nil && len(out.Order) == 0 {
+			return out.Ret
+		}
+		// Keep a trivial let to preserve FLWOR structure.
+		out.Clauses = []expr.Clause{{
+			Kind: expr.LetClause,
+			Var:  xdm.QName{Space: "urn:xqgo:opt", Local: "unit"},
+			In:   expr.NewLiteral(f.Span(), xdm.NewInteger(0)),
+		}}
+	}
+	return &out
+}
+
+func substituteClause(f *expr.Flwor, i int, cl expr.Clause) expr.Expr {
+	out := *f
+	out.Clauses = append(append([]expr.Clause(nil), f.Clauses[:i]...), f.Clauses[i+1:]...)
+	// Substitute in the remaining clauses/where/order/return.
+	for j := i; j < len(out.Clauses); j++ {
+		out.Clauses[j].In = replaceVar(out.Clauses[j].In, cl.Var, cl.In)
+	}
+	if out.Where != nil {
+		out.Where = replaceVar(out.Where, cl.Var, cl.In)
+	}
+	out.Order = append([]expr.OrderSpec(nil), f.Order...)
+	for j := range out.Order {
+		out.Order[j].Key = replaceVar(out.Order[j].Key, cl.Var, cl.In)
+	}
+	out.Ret = replaceVar(out.Ret, cl.Var, cl.In)
+	if len(out.Clauses) == 0 {
+		if out.Where == nil && len(out.Order) == 0 {
+			return out.Ret
+		}
+		out.Clauses = []expr.Clause{{
+			Kind: expr.LetClause,
+			Var:  xdm.QName{Space: "urn:xqgo:opt", Local: "unit"},
+			In:   expr.NewLiteral(f.Span(), xdm.NewInteger(0)),
+		}}
+	}
+	return &out
+}
+
+// isTrivial reports expressions whose duplication costs nothing and whose
+// re-evaluation is observationally identical.
+func isTrivial(e expr.Expr) bool {
+	switch e.(type) {
+	case *expr.Literal, *expr.VarRef:
+		return true
+	}
+	return false
+}
+
+// ---- FLWOR unnesting ----
+
+// unnestFlwor merges "for $x in (for $y in E where C return R)" into a
+// single FLWOR ("Problem relatively simpler than in OQL — no nested
+// collections in XML"). Count variables and order-by block the rewrite,
+// exactly the caveats the paper lists.
+func unnestFlwor(x expr.Expr) expr.Expr {
+	f, ok := x.(*expr.Flwor)
+	if !ok || len(f.Group) > 0 {
+		return nil
+	}
+	for i, cl := range f.Clauses {
+		if cl.Kind != expr.ForClause || !cl.PosVar.IsZero() || cl.Type != nil {
+			continue
+		}
+		inner, ok := cl.In.(*expr.Flwor)
+		if !ok || len(inner.Order) > 0 || len(inner.Group) > 0 {
+			continue
+		}
+		innerHasPos := false
+		for _, icl := range inner.Clauses {
+			if !icl.PosVar.IsZero() {
+				innerHasPos = true
+			}
+		}
+		if innerHasPos {
+			continue
+		}
+		// Name capture: inner clause variables must not collide with outer
+		// variables used later; rename them to fresh names.
+		out := *f
+		out.Clauses = append([]expr.Clause(nil), f.Clauses[:i]...)
+		renamed := inner
+		for _, icl := range inner.Clauses {
+			fresh := xdm.QName{Space: "urn:xqgo:unnest", Local: icl.Var.Local + "_" + fmt.Sprint(len(out.Clauses))}
+			renamed = renameFlworVar(renamed, icl.Var, fresh)
+		}
+		out.Clauses = append(out.Clauses, renamed.Clauses...)
+		// inner where must hold per inner tuple: merge into a conditional
+		// wrapping of the binding sequence — add as a where conjunct is
+		// wrong if outer clauses follow, so guard the new for-binding:
+		bindSeq := renamed.Ret
+		if renamed.Where != nil {
+			bindSeq = &expr.If{
+				Base: expr.Base{P: f.Span()},
+				Cond: renamed.Where,
+				Then: bindSeq,
+				Else: &expr.Seq{Base: expr.Base{P: f.Span()}},
+			}
+		}
+		out.Clauses = append(out.Clauses, expr.Clause{
+			Kind: expr.ForClause, Var: cl.Var, In: bindSeq,
+		})
+		out.Clauses = append(out.Clauses, f.Clauses[i+1:]...)
+		return &out
+	}
+	return nil
+}
+
+// renameFlworVar renames a variable bound by a FLWOR's own clause.
+func renameFlworVar(f *expr.Flwor, from, to xdm.QName) *expr.Flwor {
+	out := *f
+	out.Clauses = append([]expr.Clause(nil), f.Clauses...)
+	seen := false
+	for i := range out.Clauses {
+		if seen {
+			out.Clauses[i].In = replaceVar(out.Clauses[i].In, from,
+				&expr.VarRef{Base: expr.Base{P: f.Span()}, Name: to})
+		}
+		if out.Clauses[i].Var.Equal(from) {
+			out.Clauses[i].Var = to
+			seen = true
+		}
+	}
+	repl := &expr.VarRef{Base: expr.Base{P: f.Span()}, Name: to}
+	if out.Where != nil {
+		out.Where = replaceVar(out.Where, from, repl)
+	}
+	out.Ret = replaceVar(out.Ret, from, repl)
+	return &out
+}
+
+// ---- FOR minimization ----
+
+// minimizeFor drops a for clause whose variable is never used and whose
+// binding sequence is statically a singleton (a literal or a constructor):
+// the loop multiplies the result by exactly one.
+func minimizeFor(x expr.Expr) expr.Expr {
+	f, ok := x.(*expr.Flwor)
+	if !ok || len(f.Group) > 0 {
+		return nil
+	}
+	for i, cl := range f.Clauses {
+		if cl.Kind != expr.ForClause || !cl.PosVar.IsZero() {
+			continue
+		}
+		if !isStaticSingleton(cl.In) {
+			continue
+		}
+		rest := restOfFlwor(f, i+1)
+		if expr.UsesOf(rest, cl.Var).Count > 0 {
+			continue
+		}
+		return dropClause(f, i)
+	}
+	return nil
+}
+
+func isStaticSingleton(e expr.Expr) bool {
+	switch e.(type) {
+	case *expr.Literal, *expr.ElemConstructor, *expr.TextConstructor,
+		*expr.CommentConstructor, *expr.DocConstructor:
+		return true
+	}
+	return false
+}
+
+// ---- common sub-expression factorization ----
+
+// factorCSE extracts duplicated pure sub-expressions of a FLWOR return
+// clause into a let binding. Purity per the paper: no node construction, no
+// context sensitivity; error-capable expressions are allowed because the
+// introduced let is evaluated lazily, so an error surfaces exactly when a
+// use is evaluated ("guaranteed only if runtime implements consistently
+// lazy evaluation" — ours does).
+func (o *optimizer) factorCSE(x expr.Expr) expr.Expr {
+	f, ok := x.(*expr.Flwor)
+	if !ok || len(f.Group) > 0 {
+		return nil
+	}
+	// Count candidate subtrees of the return clause.
+	counts := map[string]int{}
+	reps := map[string]expr.Expr{}
+	expr.Walk(f.Ret, func(e expr.Expr) bool {
+		if !cseCandidate(e) {
+			return true
+		}
+		key := expr.String(e)
+		counts[key]++
+		if _, ok := reps[key]; !ok {
+			reps[key] = e
+		}
+		return true
+	})
+	for key, cnt := range counts {
+		if cnt < 2 {
+			continue
+		}
+		rep := reps[key]
+		// The expression must be closed over variables bound by this FLWOR
+		// only if we insert the let AFTER those clauses; simplest safe
+		// placement: last clause position.
+		fresh := xdm.QName{Space: "urn:xqgo:cse", Local: fmt.Sprintf("cse%d", o.cseN)}
+		o.cseN++
+		out := *f
+		out.Clauses = append(append([]expr.Clause(nil), f.Clauses...), expr.Clause{
+			Kind: expr.LetClause, Var: fresh, In: rep,
+		})
+		ref := &expr.VarRef{Base: expr.Base{P: rep.Span()}, Name: fresh}
+		out.Ret = replaceSubtree(f.Ret, key, ref)
+		return &out
+	}
+	return nil
+}
+
+// callCreatesNodes answers the node-creation question for calls using the
+// declarative function-property table ("this information is given
+// declaratively"): built-ins answer from their properties, anything
+// unresolved is conservatively creating.
+func callCreatesNodes(c *expr.Call) bool {
+	if f, err := functions.Lookup(c.Name.Local, len(c.Args)); err == nil && f != nil {
+		return f.Props.CreatesNodes
+	}
+	return true
+}
+
+// cseCandidate: non-trivial, deterministic, node-creation-free,
+// context-free, and worth a binding — factoring is only profitable when
+// the duplicated work dominates the cost of the introduced variable, so we
+// require a reasonably sized expression that actually touches data (a path
+// or a function call).
+func cseCandidate(e expr.Expr) bool {
+	if expr.Count(e) < 6 {
+		return false
+	}
+	if expr.CreatesNodes(e, callCreatesNodes) {
+		return false
+	}
+	if expr.UsesContext(e) {
+		return false
+	}
+	// Expressions binding their own variables complicate substitution.
+	switch e.(type) {
+	case *expr.Flwor, *expr.Quantified, *expr.Typeswitch:
+		return false
+	}
+	expensive := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		switch x.(type) {
+		case *expr.Path, *expr.Call, *expr.SetOp:
+			expensive = true
+			return false
+		}
+		return true
+	})
+	return expensive
+}
+
+// replaceSubtree replaces every subtree whose rendering equals key.
+func replaceSubtree(e expr.Expr, key string, repl expr.Expr) expr.Expr {
+	return expr.Rewrite(e, func(x expr.Expr) expr.Expr {
+		if x == repl {
+			return nil
+		}
+		if expr.String(x) == key {
+			return repl
+		}
+		return nil
+	})
+}
+
+// ---- backward navigation elimination ----
+
+// elimParent rewrites E/child::T/parent::node() (the "$x/a/.." pattern)
+// into E[child::T], removing the backward axis so the pipeline can stream
+// ("Replace backwards navigation with forward navigation ... enables
+// streaming").
+func elimParent(x expr.Expr) expr.Expr {
+	outer, ok := x.(*expr.Path)
+	if !ok {
+		return nil
+	}
+	parentStep, ok := outer.R.(*expr.Step)
+	if !ok || parentStep.Axis != expr.AxisParent || parentStep.Test.Kind != xtypes.TestAnyKind {
+		return nil
+	}
+	inner, ok := outer.L.(*expr.Path)
+	if !ok {
+		return nil
+	}
+	childStep, ok := inner.R.(*expr.Step)
+	if !ok || childStep.Axis != expr.AxisChild {
+		return nil
+	}
+	// E/child::T/parent::node() == E[child::T] when E yields elements
+	// (each result parent is the E node itself; dedup preserved by filter).
+	return &expr.Filter{
+		Base:  expr.Base{P: x.Span()},
+		In:    inner.L,
+		Preds: []expr.Expr{childStep},
+	}
+}
+
+// ---- type-based rewritings ----
+
+// typeRewrite applies the paper's "Type-based rewritings": a treat-as whose
+// operand's inferred static type is already a subtype of the target is a
+// no-op and is removed; an instance-of that is statically guaranteed folds
+// to true(). Inference is conservative, so false negatives just leave the
+// runtime check in place.
+func typeRewrite(x expr.Expr) expr.Expr {
+	switch n := x.(type) {
+	case *expr.Treat:
+		if expr.Infer(n.X, nil).SubtypeOf(n.T) {
+			return n.X
+		}
+	case *expr.InstanceOf:
+		if expr.Infer(n.X, nil).SubtypeOf(n.T) {
+			return expr.NewLiteral(n.Span(), xdm.True)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,422 @@
+package runtime
+
+import (
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// FLWOR evaluation. Without order-by the whole expression is a lazy nested-
+// loop pipeline over binding tuples (frames); with order-by the tuples are
+// materialized, sorted by the key values, and the return clause streams per
+// sorted tuple.
+
+// tupleIter yields binding frames.
+type tupleIter func() (*Frame, bool, error)
+
+type compiledClause struct {
+	kind  expr.ClauseKind
+	varID int
+	posID int // -1 when absent
+	typ   *xtypes.SequenceType
+	in    seqFn
+}
+
+func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
+	c.pushScope()
+	defer c.popScope()
+
+	clauses := make([]compiledClause, 0, len(n.Clauses))
+	for _, cl := range n.Clauses {
+		in, err := c.compile(cl.In)
+		if err != nil {
+			return nil, err
+		}
+		cc := compiledClause{kind: cl.Kind, in: in, posID: -1, typ: cl.Type}
+		cc.varID = c.declare(cl.Var)
+		if !cl.PosVar.IsZero() {
+			cc.posID = c.declare(cl.PosVar)
+		}
+		clauses = append(clauses, cc)
+	}
+	var whereFn seqFn
+	if n.Where != nil {
+		fn, err := c.compile(n.Where)
+		if err != nil {
+			return nil, err
+		}
+		whereFn = fn
+	}
+	// Group-by: keys see the clause variables; the group variables come
+	// into scope for order-by and return. All clause-bound variables
+	// (including positional ones) are rebound per group.
+	var groupSpecs []groupSpec
+	var rebindIDs []int
+	if len(n.Group) > 0 {
+		for _, cc := range clauses {
+			rebindIDs = append(rebindIDs, cc.varID)
+			if cc.posID >= 0 {
+				rebindIDs = append(rebindIDs, cc.posID)
+			}
+		}
+		for _, g := range n.Group {
+			key, err := c.compile(g.Key)
+			if err != nil {
+				return nil, err
+			}
+			groupSpecs = append(groupSpecs, groupSpec{varID: c.declare(g.Var), key: key})
+		}
+	}
+	type orderKey struct {
+		key        seqFn
+		descending bool
+		emptyLeast bool
+	}
+	var orderKeys []orderKey
+	for _, o := range n.Order {
+		fn, err := c.compile(o.Key)
+		if err != nil {
+			return nil, err
+		}
+		orderKeys = append(orderKeys, orderKey{fn, o.Descending, o.EmptyLeast})
+	}
+	retFn, err := c.compile(n.Ret)
+	if err != nil {
+		return nil, err
+	}
+
+	makeTuples := func(fr *Frame) tupleIter {
+		tuples := baseTuple(fr)
+		for i := range clauses {
+			tuples = applyClause(tuples, &clauses[i])
+		}
+		if whereFn != nil {
+			tuples = filterTuples(tuples, whereFn)
+		}
+		if len(groupSpecs) > 0 {
+			tuples = applyGrouping(tuples, fr, groupSpecs, rebindIDs)
+		}
+		return tuples
+	}
+
+	if len(orderKeys) == 0 {
+		return func(fr *Frame) Iter {
+			tuples := makeTuples(fr)
+			var cur Iter
+			return iterFunc(func() (xdm.Item, bool, error) {
+				for {
+					if cur == nil {
+						t, ok, err := tuples()
+						if err != nil {
+							return nil, false, err
+						}
+						if !ok {
+							return nil, false, nil
+						}
+						cur = retFn(t)
+					}
+					it, ok, err := cur.Next()
+					if err != nil {
+						return nil, false, err
+					}
+					if ok {
+						return it, true, nil
+					}
+					cur = nil
+				}
+			})
+		}, nil
+	}
+
+	// Order-by path: materialize tuples and their keys.
+	return func(fr *Frame) Iter {
+		tuples := makeTuples(fr)
+		type sortable struct {
+			frame *Frame
+			keys  []*xdm.Atomic // nil pointer = empty key
+		}
+		var rows []sortable
+		for {
+			t, ok, err := tuples()
+			if err != nil {
+				return errIter(err)
+			}
+			if !ok {
+				break
+			}
+			row := sortable{frame: t}
+			for _, ok := range orderKeys {
+				a, present, err := atomizeSingle(ok.key(t))
+				if err != nil {
+					return errIter(err)
+				}
+				if present {
+					if a.T == xdm.TUntyped {
+						a = xdm.NewString(a.S)
+					}
+					av := a
+					row.keys = append(row.keys, &av)
+				} else {
+					row.keys = append(row.keys, nil)
+				}
+			}
+			rows = append(rows, row)
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		stableSortInts(idx, func(a, b int) bool {
+			if sortErr != nil {
+				return false
+			}
+			for k := range orderKeys {
+				ka, kb := rows[a].keys[k], rows[b].keys[k]
+				cmp, err := compareKeys(ka, kb, orderKeys[k].emptyLeast)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if orderKeys[k].descending {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return errIter(sortErr)
+		}
+		pos := 0
+		var cur Iter
+		return iterFunc(func() (xdm.Item, bool, error) {
+			for {
+				if cur == nil {
+					if pos >= len(idx) {
+						return nil, false, nil
+					}
+					cur = retFn(rows[idx[pos]].frame)
+					pos++
+				}
+				it, ok, err := cur.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return it, true, nil
+				}
+				cur = nil
+			}
+		})
+	}, nil
+}
+
+// compareKeys orders two order-by keys; empty sequences order per
+// empty-least/greatest.
+func compareKeys(a, b *xdm.Atomic, emptyLeast bool) (int, error) {
+	if a == nil && b == nil {
+		return 0, nil
+	}
+	if a == nil {
+		if emptyLeast {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	if b == nil {
+		if emptyLeast {
+			return 1, nil
+		}
+		return -1, nil
+	}
+	cmp, nan, err := xdm.OrderCompare(*a, *b)
+	if err != nil {
+		return 0, err
+	}
+	if nan {
+		return 0, nil // NaN treated as equal for ordering stability
+	}
+	return cmp, nil
+}
+
+// stableSortInts is an insertion-based stable sort over an index slice
+// (rows are typically modest; order-by over huge results materializes
+// anyway). For large inputs it falls back to a merge sort.
+func stableSortInts(idx []int, less func(a, b int) bool) {
+	if len(idx) < 32 {
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		return
+	}
+	mid := len(idx) / 2
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid:]...)
+	stableSortInts(left, less)
+	stableSortInts(right, less)
+	i, j, k := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if less(right[j], left[i]) {
+			idx[k] = right[j]
+			j++
+		} else {
+			idx[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < len(left) {
+		idx[k] = left[i]
+		i++
+		k++
+	}
+	for j < len(right) {
+		idx[k] = right[j]
+		j++
+		k++
+	}
+}
+
+// baseTuple yields the initial single tuple (the enclosing frame).
+func baseTuple(fr *Frame) tupleIter {
+	done := false
+	return func() (*Frame, bool, error) {
+		if done {
+			return nil, false, nil
+		}
+		done = true
+		return fr, true, nil
+	}
+}
+
+// applyClause extends a tuple stream with one for/let clause.
+func applyClause(tuples tupleIter, cl *compiledClause) tupleIter {
+	if cl.kind == expr.LetClause {
+		return func() (*Frame, bool, error) {
+			t, ok, err := tuples()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			// Lazy binding: the clause input is not evaluated until the
+			// variable is first used, and then memoized.
+			val := NewLazySeq(cl.in(t))
+			return t.bind(cl.varID, val), true, nil
+		}
+	}
+	// for-clause: one tuple per item of the input sequence.
+	var outer *Frame
+	var inner Iter
+	var pos int64
+	return func() (*Frame, bool, error) {
+		for {
+			if inner == nil {
+				t, ok, err := tuples()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				outer = t
+				inner = cl.in(t)
+				pos = 0
+			}
+			it, ok, err := inner.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				inner = nil
+				continue
+			}
+			pos++
+			if cl.typ != nil && !cl.typ.Item.MatchesItem(it) {
+				return nil, false, xdm.ErrType("for-variable item does not match %s", *cl.typ)
+			}
+			fr := outer.bind(cl.varID, MaterializedSeq(xdm.Sequence{it}))
+			if cl.posID >= 0 {
+				fr = fr.bind(cl.posID, MaterializedSeq(xdm.Sequence{xdm.NewInteger(pos)}))
+			}
+			return fr, true, nil
+		}
+	}
+}
+
+// filterTuples applies the where clause by effective boolean value.
+func filterTuples(tuples tupleIter, whereFn seqFn) tupleIter {
+	return func() (*Frame, bool, error) {
+		for {
+			t, ok, err := tuples()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			keep, err := ebvOf(whereFn(t))
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				return t, true, nil
+			}
+		}
+	}
+}
+
+func (c *compiler) compileQuantified(n *expr.Quantified) (seqFn, error) {
+	c.pushScope()
+	defer c.popScope()
+
+	type qbind struct {
+		id int
+		in seqFn
+	}
+	binds := make([]qbind, 0, len(n.Binds))
+	for _, b := range n.Binds {
+		in, err := c.compile(b.In)
+		if err != nil {
+			return nil, err
+		}
+		binds = append(binds, qbind{id: c.declare(b.Var), in: in})
+	}
+	satFn, err := c.compile(n.Satisfies)
+	if err != nil {
+		return nil, err
+	}
+	every := n.Every
+	return func(fr *Frame) Iter {
+		tuples := baseTuple(fr)
+		for i := range binds {
+			cl := compiledClause{kind: expr.ForClause, varID: binds[i].id, posID: -1, in: binds[i].in}
+			tuples = applyClauseQ(tuples, cl)
+		}
+		for {
+			t, ok, err := tuples()
+			if err != nil {
+				return errIter(err)
+			}
+			if !ok {
+				// every: vacuously true; some: false
+				return singleIter(xdm.NewBoolean(every))
+			}
+			sat, err := ebvOf(satFn(t))
+			if err != nil {
+				return errIter(err)
+			}
+			if sat && !every {
+				return singleIter(xdm.True) // early exit: lazy evaluation win
+			}
+			if !sat && every {
+				return singleIter(xdm.False)
+			}
+		}
+	}, nil
+}
+
+// applyClauseQ is applyClause for a value clause (quantifiers have no
+// positional variables or type checks).
+func applyClauseQ(tuples tupleIter, cl compiledClause) tupleIter {
+	clCopy := cl
+	return applyClause(tuples, &clCopy)
+}

@@ -1,0 +1,419 @@
+package runtime
+
+import (
+	"xqgo/internal/expr"
+	"xqgo/internal/store"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// Path evaluation: E1/E2 per the paper — evaluate E1, bind "." to each
+// node, evaluate E2, concatenate, then eliminate duplicates and sort by
+// document order. The final sort+dedup is skipped when the optimizer proved
+// it unnecessary (Path.NoReorder, experiment E8); in that case the whole
+// path is a fully streaming pipeline.
+
+func (c *compiler) compilePath(n *expr.Path) (seqFn, error) {
+	navFn, err := c.compileNavPath(n)
+	if err != nil {
+		return nil, err
+	}
+	if joined, ok := c.compileIndexedPath(n); ok {
+		return func(fr *Frame) Iter {
+			if it, haveCtx := fr.ContextItem(); haveCtx {
+				if _, isStore := it.(*store.Node); isStore {
+					return joined(fr)
+				}
+			}
+			return navFn(fr) // non-store contexts fall back to navigation
+		}, nil
+	}
+	return navFn, nil
+}
+
+// compileNavPath is the navigation implementation of a path expression.
+func (c *compiler) compileNavPath(n *expr.Path) (seqFn, error) {
+	lf, err := c.compile(n.L)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := c.compile(n.R)
+	if err != nil {
+		return nil, err
+	}
+	noReorder := n.NoReorder && !c.opts.Eager
+
+	raw := func(fr *Frame) Iter {
+		lseq := NewLazySeq(lf(fr))
+		li := lseq.Iterator()
+		lastFn := func() (int64, error) {
+			n, err := lseq.Len()
+			return int64(n), err
+		}
+		var cur Iter
+		pos := int64(0)
+		return iterFunc(func() (xdm.Item, bool, error) {
+			for {
+				if cur == nil {
+					it, ok, err := li.Next()
+					if err != nil {
+						return nil, false, err
+					}
+					if !ok {
+						return nil, false, nil
+					}
+					if !it.IsNode() {
+						return nil, false, xdm.ErrType("path step applied to an atomic value")
+					}
+					pos++
+					cur = rf(fr.focus(it, pos, lastFn))
+				}
+				it, ok, err := cur.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return it, true, nil
+				}
+				cur = nil
+			}
+		})
+	}
+
+	if noReorder {
+		return raw, nil
+	}
+	// Materializing tail: sort by document order + dedup when the result is
+	// nodes; pass through when it is purely atomic (the $x/f(.) case).
+	return func(fr *Frame) Iter {
+		seq, err := drain(raw(fr))
+		if err != nil {
+			return errIter(err)
+		}
+		nodes, atomics := 0, 0
+		for _, it := range seq {
+			if it.IsNode() {
+				nodes++
+			} else {
+				atomics++
+			}
+		}
+		switch {
+		case nodes > 0 && atomics > 0:
+			return errIter(xdm.ErrType("path result mixes nodes and atomic values"))
+		case atomics > 0:
+			return newSliceIter(seq)
+		default:
+			sorted, err := sortNodesDedup(seq)
+			if err != nil {
+				return errIter(err)
+			}
+			return newSliceIter(sorted)
+		}
+	}, nil
+}
+
+// compileStep compiles one axis step against the context item.
+func (c *compiler) compileStep(n *expr.Step) (seqFn, error) {
+	axis, test := n.Axis, n.Test
+	return func(fr *Frame) Iter {
+		it, ok := fr.ContextItem()
+		if !ok {
+			return errIter(xdm.Errf("XPDY0002", "no context item for axis step"))
+		}
+		node, isNode := it.(xdm.Node)
+		if !isNode {
+			return errIter(xdm.ErrType("axis step applied to an atomic value"))
+		}
+		return axisIter(node, axis, test)
+	}, nil
+}
+
+// axisIter returns the nodes of an axis from a context node, filtered by
+// the node test, in axis order (reverse axes deliver reverse document
+// order; the enclosing path restores document order when required).
+func axisIter(n xdm.Node, axis expr.Axis, test xtypes.NodeTest) Iter {
+	principal := axis.Principal()
+	switch axis {
+	case expr.AxisSelf:
+		if test.MatchesNode(n, principal) {
+			return singleIter(n)
+		}
+		return emptyIter
+
+	case expr.AxisChild:
+		if sn, ok := n.(*store.Node); ok {
+			return storeChildIter(sn, test, principal)
+		}
+		return filterNodes(n.ChildrenOf(), test, principal)
+
+	case expr.AxisAttribute:
+		return filterNodes(n.AttributesOf(), test, principal)
+
+	case expr.AxisParent:
+		p := n.Parent()
+		if p != nil && test.MatchesNode(p, principal) {
+			return singleIter(p)
+		}
+		return emptyIter
+
+	case expr.AxisAncestor, expr.AxisAncestorOrSelf:
+		cur := n
+		if axis == expr.AxisAncestor {
+			cur = n.Parent()
+		}
+		return iterFunc(func() (xdm.Item, bool, error) {
+			for cur != nil {
+				c := cur
+				cur = cur.Parent()
+				if test.MatchesNode(c, principal) {
+					return c, true, nil
+				}
+			}
+			return nil, false, nil
+		})
+
+	case expr.AxisDescendant, expr.AxisDescendantOrSelf:
+		if sn, ok := n.(*store.Node); ok {
+			return storeDescendantIter(sn, axis == expr.AxisDescendantOrSelf, test, principal)
+		}
+		return genericDescendantIter(n, axis == expr.AxisDescendantOrSelf, test, principal)
+
+	case expr.AxisFollowingSibling, expr.AxisPrecedingSibling:
+		p := n.Parent()
+		if p == nil || n.Kind() == xdm.AttributeNode {
+			return emptyIter
+		}
+		sibs := p.ChildrenOf()
+		idx := -1
+		for i, s := range sibs {
+			if s.SameNode(n) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return emptyIter
+		}
+		var cand []xdm.Node
+		if axis == expr.AxisFollowingSibling {
+			cand = sibs[idx+1:]
+		} else {
+			// preceding-sibling in reverse document order
+			for i := idx - 1; i >= 0; i-- {
+				cand = append(cand, sibs[i])
+			}
+		}
+		return filterNodes(cand, test, principal)
+	}
+	return emptyIter
+}
+
+func filterNodes(nodes []xdm.Node, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+	i := 0
+	return iterFunc(func() (xdm.Item, bool, error) {
+		for i < len(nodes) {
+			n := nodes[i]
+			i++
+			if test.MatchesNode(n, principal) {
+				return n, true, nil
+			}
+		}
+		return nil, false, nil
+	})
+}
+
+// storeChildIter walks first-child/next-sibling links without allocating
+// the child slice.
+func storeChildIter(n *store.Node, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+	d := n.D
+	cur := d.FirstChildID(n.ID)
+	return iterFunc(func() (xdm.Item, bool, error) {
+		for cur >= 0 {
+			id := cur
+			cur = d.NextSiblingID(id)
+			child := &store.Node{D: d, ID: id}
+			if test.MatchesNode(child, principal) {
+				return child, true, nil
+			}
+		}
+		return nil, false, nil
+	})
+}
+
+// storeDescendantIter exploits the array layout: the descendants of a node
+// are exactly the id range (id, endID], minus attribute nodes — a linear
+// scan with no tree navigation at all.
+func storeDescendantIter(n *store.Node, orSelf bool, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+	d := n.D
+	cur := n.ID
+	if !orSelf {
+		cur++
+	}
+	end := d.EndID(n.ID)
+	first := orSelf
+	return iterFunc(func() (xdm.Item, bool, error) {
+		for cur <= end {
+			id := cur
+			cur++
+			if !first && d.Kind(id) == xdm.AttributeNode {
+				continue
+			}
+			first = false
+			node := &store.Node{D: d, ID: id}
+			if test.MatchesNode(node, principal) {
+				return node, true, nil
+			}
+		}
+		return nil, false, nil
+	})
+}
+
+// genericDescendantIter is the interface-only fallback (used by non-store
+// node implementations in tests).
+func genericDescendantIter(n xdm.Node, orSelf bool, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+	var stack []xdm.Node
+	if orSelf {
+		stack = append(stack, n)
+	} else {
+		kids := n.ChildrenOf()
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return iterFunc(func() (xdm.Item, bool, error) {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			kids := top.ChildrenOf()
+			for i := len(kids) - 1; i >= 0; i-- {
+				stack = append(stack, kids[i])
+			}
+			if test.MatchesNode(top, principal) {
+				return top, true, nil
+			}
+		}
+		return nil, false, nil
+	})
+}
+
+// compileFilter compiles E[p1][p2]...: each predicate filters the result of
+// the previous stage, with its own focus (item, position, size).
+func (c *compiler) compileFilter(n *expr.Filter) (seqFn, error) {
+	baseFn, err := c.compile(n.In)
+	if err != nil {
+		return nil, err
+	}
+	cur := baseFn
+	for _, pred := range n.Preds {
+		// Positional fast path: a literal integer predicate [k] selects one
+		// item and stops pulling input — the item-level skip() of E3/E4.
+		if lit, ok := pred.(*expr.Literal); ok && lit.Val.T == xdm.TInteger {
+			k := lit.Val.I
+			prev := cur
+			cur = func(fr *Frame) Iter {
+				if k < 1 {
+					return emptyIter
+				}
+				src := prev(fr)
+				done := false
+				return iterFunc(func() (xdm.Item, bool, error) {
+					if done {
+						return nil, false, nil
+					}
+					done = true
+					var it xdm.Item
+					var ok bool
+					var err error
+					for i := int64(0); i < k; i++ {
+						it, ok, err = src.Next()
+						if err != nil || !ok {
+							return nil, false, err
+						}
+					}
+					return it, true, nil
+				})
+			}
+			continue
+		}
+		predFn, err := c.compile(pred)
+		if err != nil {
+			return nil, err
+		}
+		prev := cur
+		pf := predFn
+		cur = func(fr *Frame) Iter {
+			base := NewLazySeq(prev(fr))
+			bi := base.Iterator()
+			lastFn := func() (int64, error) {
+				n, err := base.Len()
+				return int64(n), err
+			}
+			pos := int64(0)
+			return iterFunc(func() (xdm.Item, bool, error) {
+				for {
+					it, ok, err := bi.Next()
+					if err != nil || !ok {
+						return nil, false, err
+					}
+					pos++
+					keep, err := evalPredicate(pf, fr.focus(it, pos, lastFn), pos)
+					if err != nil {
+						return nil, false, err
+					}
+					if keep {
+						return it, true, nil
+					}
+				}
+			})
+		}
+	}
+	return cur, nil
+}
+
+// evalPredicate decides a predicate: a single numeric result is a position
+// test, anything else is taken by effective boolean value.
+func evalPredicate(pf seqFn, fr *Frame, pos int64) (bool, error) {
+	it := pf(fr)
+	first, ok, err := it.Next()
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if a, isAtomic := first.(xdm.Atomic); isAtomic && a.T.IsNumeric() {
+		if _, extra, err := it.Next(); err != nil {
+			return false, err
+		} else if !extra {
+			return a.AsFloat() == float64(pos), nil
+		}
+		// A multi-item numeric sequence: positional range semantics
+		// (1 to 2): keep if any value equals the position.
+		if a.AsFloat() == float64(pos) {
+			return true, nil
+		}
+		for {
+			nx, more, err := it.Next()
+			if err != nil {
+				return false, err
+			}
+			if !more {
+				return false, nil
+			}
+			if na, isA := nx.(xdm.Atomic); isA && na.T.IsNumeric() && na.AsFloat() == float64(pos) {
+				return true, nil
+			}
+		}
+	}
+	if first.IsNode() {
+		return true, nil
+	}
+	// Single non-numeric atomic: EBV.
+	if _, extra, err := it.Next(); err != nil {
+		return false, err
+	} else if extra {
+		return false, xdm.ErrType("predicate yields a multi-item atomic sequence")
+	}
+	return xdm.EffectiveBooleanItem(first)
+}

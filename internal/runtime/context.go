@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"xqgo/internal/xdm"
+	"xqgo/internal/xmlparse"
+)
+
+// Dynamic is the dynamic evaluation context shared by one execution:
+// external variable values, the document resolver, and the stable current
+// dateTime.
+type Dynamic struct {
+	// Vars maps external variable names (Clark notation) to values.
+	Vars map[string]xdm.Sequence
+	// ContextItem, when non-nil, is the initial context item.
+	ContextItem xdm.Item
+	// Resolver loads documents for fn:doc/fn:document. Nil installs the
+	// default resolver (registry + filesystem).
+	Resolver DocResolver
+	// Collections maps collection URIs to sequences.
+	Collections map[string]xdm.Sequence
+	// Now is the stable current dateTime; zero means time.Now at first use.
+	Now time.Time
+
+	once    sync.Once
+	nowAtom xdm.Atomic
+	indexes indexCache
+	memo    memoCache
+}
+
+// DocResolver resolves a document URI to its document node.
+type DocResolver interface {
+	Doc(uri string) (xdm.Node, error)
+}
+
+// DocRegistry is the default resolver: an in-memory URI->document map with
+// optional filesystem fallback.
+type DocRegistry struct {
+	mu    sync.Mutex
+	docs  map[string]xdm.Node
+	useFS bool
+}
+
+// NewDocRegistry creates a registry. When allowFS is set, unknown URIs are
+// read from the local filesystem.
+func NewDocRegistry(allowFS bool) *DocRegistry {
+	return &DocRegistry{docs: make(map[string]xdm.Node), useFS: allowFS}
+}
+
+// Register adds a parsed document under a URI.
+func (r *DocRegistry) Register(uri string, doc xdm.Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.docs[uri] = doc
+}
+
+// Doc implements DocResolver.
+func (r *DocRegistry) Doc(uri string) (xdm.Node, error) {
+	r.mu.Lock()
+	d, ok := r.docs[uri]
+	r.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	if !r.useFS {
+		return nil, xdm.Errf("FODC0002", "document %q not found", uri)
+	}
+	f, err := os.Open(uri)
+	if err != nil {
+		return nil, xdm.Errf("FODC0002", "cannot open document %q: %v", uri, err)
+	}
+	defer f.Close()
+	doc, err := xmlparse.Parse(f, xmlparse.Options{URI: uri})
+	if err != nil {
+		return nil, xdm.Errf("FODC0002", "cannot parse document %q: %v", uri, err)
+	}
+	node := doc.RootNode()
+	r.Register(uri, node)
+	return node, nil
+}
+
+func (d *Dynamic) resolver() DocResolver {
+	if d.Resolver == nil {
+		d.Resolver = NewDocRegistry(true)
+	}
+	return d.Resolver
+}
+
+func (d *Dynamic) currentDateTime() xdm.Atomic {
+	d.once.Do(func() {
+		t := d.Now
+		if t.IsZero() {
+			t = time.Now()
+		}
+		d.nowAtom = xdm.NewDateTime(t.UTC(), "")
+	})
+	return d.nowAtom
+}
+
+// Frame is one link of the binding-environment chain: it either binds a
+// variable (id >= 0) or establishes a focus (context item / position /
+// size). Frames are immutable once created, so lazily-evaluated thunks can
+// safely capture them.
+type Frame struct {
+	parent *Frame
+	dyn    *Dynamic
+
+	id  int // variable id bound here; -1 if none
+	val *LazySeq
+
+	hasFocus bool
+	ctxItem  xdm.Item
+	ctxPos   int64
+	ctxLast  func() (int64, error) // lazy: materializes only if called
+
+	// isBarrier blocks focus lookup: function bodies have no context item.
+	isBarrier bool
+}
+
+// rootFrame creates the outermost frame.
+func rootFrame(dyn *Dynamic) *Frame {
+	f := &Frame{dyn: dyn, id: -1}
+	if dyn.ContextItem != nil {
+		f.hasFocus = true
+		f.ctxItem = dyn.ContextItem
+		f.ctxPos = 1
+		f.ctxLast = func() (int64, error) { return 1, nil }
+	}
+	return f
+}
+
+// bind creates a child frame binding variable id to val.
+func (f *Frame) bind(id int, val *LazySeq) *Frame {
+	return &Frame{parent: f, dyn: f.dyn, id: id, val: val}
+}
+
+// focus creates a child frame with a new focus.
+func (f *Frame) focus(item xdm.Item, pos int64, last func() (int64, error)) *Frame {
+	return &Frame{parent: f, dyn: f.dyn, id: -1,
+		hasFocus: true, ctxItem: item, ctxPos: pos, ctxLast: last}
+}
+
+// lookup finds the value of variable id.
+func (f *Frame) lookup(id int) *LazySeq {
+	for p := f; p != nil; p = p.parent {
+		if p.id == id {
+			return p.val
+		}
+	}
+	panic(fmt.Sprintf("runtime: unbound variable slot %d", id))
+}
+
+// focusFrame returns the innermost frame with a focus, or nil. Barrier
+// frames (function-call boundaries) hide any outer focus.
+func (f *Frame) focusFrame() *Frame {
+	for p := f; p != nil; p = p.parent {
+		if p.hasFocus {
+			return p
+		}
+		if p.isBarrier {
+			return nil
+		}
+	}
+	return nil
+}
+
+// barrier creates a child frame that blocks focus lookup (the context item
+// is undefined inside a function body).
+func (f *Frame) barrier() *Frame {
+	return &Frame{parent: f, dyn: f.dyn, id: -1, isBarrier: true}
+}
+
+// ---- functions.Context implementation ----
+
+// ContextItem returns the focus item.
+func (f *Frame) ContextItem() (xdm.Item, bool) {
+	if ff := f.focusFrame(); ff != nil {
+		return ff.ctxItem, true
+	}
+	return nil, false
+}
+
+// Position returns the focus position.
+func (f *Frame) Position() int64 {
+	if ff := f.focusFrame(); ff != nil {
+		return ff.ctxPos
+	}
+	return 0
+}
+
+// Size returns the focus size, forcing materialization of the focus input
+// if necessary.
+func (f *Frame) Size() (int64, error) {
+	ff := f.focusFrame()
+	if ff == nil || ff.ctxLast == nil {
+		return 0, xdm.Errf("XPDY0002", "fn:last(): no context")
+	}
+	return ff.ctxLast()
+}
+
+// Doc resolves a document URI.
+func (f *Frame) Doc(uri string) (xdm.Node, error) { return f.dyn.resolver().Doc(uri) }
+
+// Collection resolves a collection URI.
+func (f *Frame) Collection(uri string) (xdm.Sequence, error) {
+	if seq, ok := f.dyn.Collections[uri]; ok {
+		return seq, nil
+	}
+	return nil, xdm.Errf("FODC0004", "collection %q not found", uri)
+}
+
+// CurrentDateTime returns the stable evaluation dateTime.
+func (f *Frame) CurrentDateTime() xdm.Atomic { return f.dyn.currentDateTime() }
+
+// sortNodesDedup is a convenience wrapper over the data-model operation.
+func sortNodesDedup(seq xdm.Sequence) (xdm.Sequence, error) {
+	return xdm.SortDocOrderDedup(seq)
+}
+
+// mergeByDocOrder merges two sorted node sequences per the set operation.
+func mergeByDocOrder(a, b xdm.Sequence, keepA, keepB, keepBoth bool) xdm.Sequence {
+	var out xdm.Sequence
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		c := xdm.CompareOrder(a[i].(xdm.Node), b[j].(xdm.Node))
+		switch {
+		case c < 0:
+			if keepA {
+				out = append(out, a[i])
+			}
+			i++
+		case c > 0:
+			if keepB {
+				out = append(out, b[j])
+			}
+			j++
+		default:
+			if keepBoth {
+				out = append(out, a[i])
+			}
+			i++
+			j++
+		}
+	}
+	if keepA {
+		out = append(out, a[i:]...)
+	}
+	if keepB {
+		out = append(out, b[j:]...)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+
+	"xqgo/internal/serializer"
+	"xqgo/internal/tokens"
+	"xqgo/internal/xdm"
+)
+
+// This file is the execution boundary of a Prepared query: materializing
+// evaluation, streaming iteration, and direct-to-writer serialization (the
+// path where node-id-free construction pays off).
+
+// newRootFrame builds the evaluation frame chain: root frame + globals.
+func (p *Prepared) newRootFrame(dyn *Dynamic) (*Frame, error) {
+	if dyn == nil {
+		dyn = &Dynamic{}
+	}
+	fr := rootFrame(dyn)
+	for _, g := range p.globals {
+		var val *LazySeq
+		switch {
+		case g.external:
+			seq, ok := dyn.Vars[g.name.Clark()]
+			if !ok {
+				return nil, xdm.Errf("XPDY0002", "no value for external variable $%s", g.name)
+			}
+			val = MaterializedSeq(seq)
+		default:
+			val = NewLazySeq(g.init(fr))
+		}
+		if g.typ != nil {
+			seq, err := val.All()
+			if err != nil {
+				return nil, err
+			}
+			if !g.typ.Matches(seq) {
+				return nil, xdm.ErrType("variable $%s does not match its declared type %s", g.name, *g.typ)
+			}
+			val = MaterializedSeq(seq)
+		}
+		fr = fr.bind(g.id, val)
+	}
+	return fr, nil
+}
+
+// recoverXQ converts StreamedNode accessor panics back into errors at the
+// engine boundary.
+func recoverXQ(err *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = e
+			return
+		}
+		panic(r)
+	}
+}
+
+// Eval executes the query and materializes the whole result.
+func (p *Prepared) Eval(dyn *Dynamic) (seq xdm.Sequence, err error) {
+	defer recoverXQ(&err)
+	fr, err := p.newRootFrame(dyn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := drain(p.body(fr))
+	if err != nil {
+		return nil, err
+	}
+	// Materialize any streamed constructions escaping to the caller.
+	for i, it := range out {
+		if sn, ok := it.(*StreamedNode); ok {
+			m, merr := sn.materialize()
+			if merr != nil {
+				return nil, merr
+			}
+			out[i] = m
+		}
+	}
+	return out, nil
+}
+
+// Iterator returns a lazy result iterator: items are produced on demand,
+// the paper's "time to first answer" path. The returned cleanup func is
+// currently a no-op but reserved for resource-holding plans.
+func (p *Prepared) Iterator(dyn *Dynamic) (Iter, error) {
+	fr, err := p.newRootFrame(dyn)
+	if err != nil {
+		return nil, err
+	}
+	return p.body(fr), nil
+}
+
+// ExecuteToWriter evaluates the query and serializes the result directly to
+// w. Streamed constructor results are token-piped into the writer without
+// node-id assignment or tree materialization (experiment E7); stored nodes
+// are serialized conventionally.
+func (p *Prepared) ExecuteToWriter(dyn *Dynamic, w io.Writer) (err error) {
+	defer recoverXQ(&err)
+	it, err := p.Iterator(dyn)
+	if err != nil {
+		return err
+	}
+	sw := tokens.NewStreamWriter(w)
+	prevAtomic := false
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		switch n := item.(type) {
+		case *StreamedNode:
+			prevAtomic = false
+			if err := n.EmitTokens(sw.WriteToken); err != nil {
+				return err
+			}
+		case xdm.Node:
+			prevAtomic = false
+			if err := emitStoredNode(n, sw.WriteToken); err != nil {
+				return err
+			}
+		default:
+			a := item.(xdm.Atomic)
+			if prevAtomic {
+				if err := sw.WriteToken(tokens.Token{Kind: tokens.KindText, Value: " "}); err != nil {
+					return err
+				}
+			}
+			if err := sw.WriteToken(tokens.Token{Kind: tokens.KindAtomic, Atom: a}); err != nil {
+				return err
+			}
+			prevAtomic = true
+		}
+	}
+	return sw.Close()
+}
+
+// SerializeResult renders a materialized result with the tree serializer
+// (used by the CLI and tests).
+func SerializeResult(seq xdm.Sequence) (string, error) {
+	return serializer.SequenceToString(seq)
+}
+
+// String renders a short description of the prepared query.
+func (p *Prepared) String() string {
+	mode := "streaming"
+	if p.opts.Eager {
+		mode = "eager"
+	}
+	return fmt.Sprintf("prepared query (%s engine, %d globals)", mode, len(p.globals))
+}

@@ -1,0 +1,190 @@
+package runtime
+
+import (
+	"sync"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/store"
+	"xqgo/internal/structjoin"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// Index-accelerated path evaluation: when the engine is compiled with
+// UseStructuralJoins, descendant-axis path chains over plain name tests
+// (//a//b, /doc//a/b …) are evaluated with stack-tree structural joins over
+// a per-document name index instead of navigation — the "navigation- vs
+// index-based processing" trade-off the paper surveys. Indexes are built
+// lazily per document and cached on the dynamic context.
+
+// indexCache caches structjoin indexes per store document.
+type indexCache struct {
+	mu   sync.Mutex
+	idxs map[*store.Document]*structjoin.Index
+}
+
+func (c *indexCache) indexFor(d *store.Document) *structjoin.Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idxs == nil {
+		c.idxs = make(map[*store.Document]*structjoin.Index)
+	}
+	if idx, ok := c.idxs[d]; ok {
+		return idx
+	}
+	idx := structjoin.BuildIndex(d)
+	c.idxs[d] = idx
+	return idx
+}
+
+// joinStep is one step of an extracted join chain.
+type joinStep struct {
+	name      xdm.QName
+	childOnly bool // parent/child edge rather than ancestor/descendant
+}
+
+// extractJoinChain recognizes Path trees of the form
+//
+//	Root [/descendant-or-self::node()/child::N | /child::N]+
+//
+// with simple element name tests and no predicates, returning the chain in
+// outermost-first order. ok is false when the shape doesn't match.
+func extractJoinChain(e expr.Expr) (steps []joinStep, ok bool) {
+	p, isPath := e.(*expr.Path)
+	if !isPath {
+		return nil, false
+	}
+	// Recurse into the left spine first.
+	switch l := p.L.(type) {
+	case *expr.Root:
+		// chain starts here
+	case *expr.Path:
+		inner, innerOK := extractJoinChain(l)
+		if !innerOK {
+			return nil, false
+		}
+		steps = inner
+	default:
+		return nil, false
+	}
+
+	// The RHS must be either child::name, or the dos step (in which case
+	// the *next* path level supplies the name; handled by the caller shape:
+	// Root/dos::node() appears as Path{L: Root, R: dosStep}).
+	switch r := p.R.(type) {
+	case *expr.Step:
+		switch {
+		case r.Axis == expr.AxisChild && isPlainNameTest(r.Test):
+			// A child step: parent/child edge — but only meaningful when a
+			// previous named step exists; a leading /name (from the
+			// document root) is also fine (document node is the parent).
+			steps = append(steps, joinStep{name: r.Test.Name, childOnly: true})
+			return steps, len(steps) > 0
+		case (r.Axis == expr.AxisDescendantOrSelf && r.Test.Kind == xtypes.TestAnyKind):
+			// the "//" marker: mark by appending a sentinel the caller's
+			// next child step will consume.
+			steps = append(steps, joinStep{childOnly: false})
+			return steps, true
+		case r.Axis == expr.AxisDescendant && isPlainNameTest(r.Test):
+			steps = append(steps, joinStep{name: r.Test.Name, childOnly: false})
+			return steps, true
+		}
+	}
+	return nil, false
+}
+
+func isPlainNameTest(t xtypes.NodeTest) bool {
+	return t.Kind == xtypes.TestName && !t.AnyName && !t.WildLocal && !t.WildSpace
+}
+
+// normalizeChain merges "//" sentinels into the following named step.
+// Returns ok=false when the chain is degenerate (sentinel at the end, or
+// no named steps).
+func normalizeChain(raw []joinStep) ([]joinStep, bool) {
+	var out []joinStep
+	pendingDesc := false
+	for _, s := range raw {
+		if s.name.IsZero() {
+			pendingDesc = true
+			continue
+		}
+		step := s
+		if pendingDesc {
+			step.childOnly = false
+			pendingDesc = false
+		}
+		out = append(out, step)
+	}
+	if pendingDesc || len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// compileIndexedPath tries to compile a path into a structural-join plan.
+// Returns (nil, false) when the pattern is not join-shaped.
+func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
+	if !c.opts.UseStructuralJoins {
+		return nil, false
+	}
+	raw, ok := extractJoinChain(n)
+	if !ok {
+		return nil, false
+	}
+	chain, ok := normalizeChain(raw)
+	if !ok || len(chain) < 1 {
+		return nil, false
+	}
+	// Only worthwhile when at least one edge is a descendant join.
+	hasDesc := false
+	for _, s := range chain[1:] {
+		if !s.childOnly {
+			hasDesc = true
+		}
+	}
+	if len(chain) == 1 || !hasDesc {
+		return nil, false
+	}
+
+	return func(fr *Frame) Iter {
+		it, okCtx := fr.ContextItem()
+		if !okCtx {
+			return errIter(xdm.Errf("XPDY0002", "no context item for '/'"))
+		}
+		sn, isStore := it.(*store.Node)
+		if !isStore {
+			return nil // handled by caller fallback — should not happen
+		}
+		idx := fr.dyn.indexes.indexFor(sn.D)
+
+		// Seed: postings of the first chain name (its edge from the root is
+		// checked only when childOnly: level 1 under the document node).
+		cur := idx.Elements(chain[0].name)
+		if chain[0].childOnly {
+			var filtered structjoin.List
+			for _, p := range cur {
+				if p.Region.Level == 1 {
+					filtered = append(filtered, p)
+				}
+			}
+			cur = filtered
+		}
+		for _, s := range chain[1:] {
+			pairs := structjoin.StackTreeDesc(cur, idx.Elements(s.name), s.childOnly)
+			cur = structjoin.DistinctDescendants(pairs)
+			if len(cur) == 0 {
+				break
+			}
+		}
+		pos := 0
+		d := sn.D
+		return iterFunc(func() (xdm.Item, bool, error) {
+			if pos >= len(cur) {
+				return nil, false, nil
+			}
+			node := d.Node(cur[pos].ID)
+			pos++
+			return node, true, nil
+		})
+	}, true
+}

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"testing"
+
+	"xqgo/internal/xdm"
+	"xqgo/internal/xqparse"
+)
+
+func chainOf(t *testing.T, src string) ([]joinStep, bool) {
+	t.Helper()
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := extractJoinChain(q.Body)
+	if !ok {
+		return nil, false
+	}
+	return normalizeChain(raw)
+}
+
+func TestExtractJoinChain(t *testing.T) {
+	cases := []struct {
+		src   string
+		names []string // expected chain names; nil = not join-shaped
+		child []bool
+	}{
+		{`//a//b`, []string{"a", "b"}, []bool{false, false}},
+		{`//a/b`, []string{"a", "b"}, []bool{false, true}},
+		{`/r//a/b//c`, []string{"r", "a", "b", "c"}, []bool{true, false, true, false}},
+		{`//a`, []string{"a"}, []bool{false}},
+		{`//a[b]//c`, nil, nil}, // predicate blocks
+		{`//*//b`, nil, nil},    // wildcard blocks
+		{`$x//a//b`, nil, nil},  // non-root base blocks
+		{`//a//text()`, nil, nil},
+	}
+	for _, c := range cases {
+		chain, ok := chainOf(t, c.src)
+		if c.names == nil {
+			if ok {
+				t.Errorf("%s: should not be join-shaped, got %v", c.src, chain)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: expected join chain", c.src)
+			continue
+		}
+		if len(chain) != len(c.names) {
+			t.Errorf("%s: chain length %d, want %d (%v)", c.src, len(chain), len(c.names), chain)
+			continue
+		}
+		for i := range chain {
+			if chain[i].name.Local != c.names[i] || chain[i].childOnly != c.child[i] {
+				t.Errorf("%s step %d: %+v, want %s child=%v", c.src, i, chain[i], c.names[i], c.child[i])
+			}
+		}
+	}
+}
+
+func TestMemoKey(t *testing.T) {
+	args := []xdm.Sequence{{xdm.NewInteger(1)}, {xdm.NewString("a"), xdm.NewString("b")}}
+	k1, ok := memoKey("f/2", args)
+	if !ok {
+		t.Fatal("atomic args must be cachable")
+	}
+	k2, _ := memoKey("f/2", args)
+	if k1 != k2 {
+		t.Error("same args, same key")
+	}
+	k3, _ := memoKey("f/2", []xdm.Sequence{{xdm.NewInteger(1)}, {xdm.NewString("ab")}})
+	if k1 == k3 {
+		t.Error("different arg shapes must not collide")
+	}
+	// Distinguish ("a","b") from ("a,b")-style merges.
+	k4, _ := memoKey("f/2", []xdm.Sequence{{xdm.NewInteger(1), xdm.NewString("a")}, {xdm.NewString("b")}})
+	if k1 == k4 {
+		t.Error("argument boundaries must participate in the key")
+	}
+	// Node arguments: not cachable.
+	dyn := testDynamic(t)
+	if _, ok := memoKey("f/1", []xdm.Sequence{{dyn.ContextItem}}); ok {
+		t.Error("node arguments must bypass the cache")
+	}
+	// Different types, same lexical.
+	ki, _ := memoKey("f/1", []xdm.Sequence{{xdm.NewInteger(1)}})
+	ks, _ := memoKey("f/1", []xdm.Sequence{{xdm.NewString("1")}})
+	if ki == ks {
+		t.Error("type participates in the key")
+	}
+}

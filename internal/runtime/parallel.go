@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"sync"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+)
+
+// Parallel execution — the paper's "Parallel execution" slide: independent
+// sub-expressions of a sequence are evaluated concurrently ("only if there
+// is no data dependency; only if the compiler guarantees that the given
+// subexpressions are executed"). A comma sequence always evaluates every
+// operand, satisfying the guarantee; independence is established by forcing
+// the branches' shared variable bindings before spawning, after which each
+// goroutine touches only immutable state (the store is read-only, documents
+// and caches are mutex-guarded).
+//
+// Note the error-timing caveat the paper discusses for LET unfolding:
+// forcing shared bindings may evaluate a variable an entirely lazy engine
+// would have skipped. XQuery's non-deterministic error semantics permit
+// this; Parallel is opt-in.
+
+// parallelMinWeight is the minimum expression-tree size of a branch worth a
+// goroutine.
+const parallelMinWeight = 12
+
+// compileParallelSeq builds a concurrent evaluator for a comma sequence, or
+// returns ok=false when the shape doesn't profit (few/light branches,
+// context-dependent branches).
+func (c *compiler) compileParallelSeq(n *expr.Seq, fns []seqFn) (seqFn, bool) {
+	if !c.opts.Parallel || len(n.Items) < 2 {
+		return nil, false
+	}
+	heavy := 0
+	for _, item := range n.Items {
+		if expr.UsesContext(item) {
+			// Focus plumbing (fn:last materialization) is not safe to share
+			// across goroutines; keep such sequences sequential.
+			return nil, false
+		}
+		if expr.Count(item) >= parallelMinWeight {
+			heavy++
+		}
+	}
+	if heavy < 2 {
+		return nil, false
+	}
+
+	// The variable ids each branch reads; forced before spawning.
+	var shared []int
+	seen := map[int]bool{}
+	for _, item := range n.Items {
+		for name := range expr.FreeVars(item) {
+			if id, ok := c.resolve(xdm.ParseClark(name)); ok && !seen[id] {
+				seen[id] = true
+				shared = append(shared, id)
+			}
+		}
+	}
+
+	return func(fr *Frame) Iter {
+		// Force shared bindings so goroutines only read materialized data.
+		for _, id := range shared {
+			if _, err := fr.lookup(id).All(); err != nil {
+				return errIter(err)
+			}
+		}
+		results := make([]xdm.Sequence, len(fns))
+		errs := make([]error, len(fns))
+		var wg sync.WaitGroup
+		for i, fn := range fns {
+			wg.Add(1)
+			go func(i int, fn seqFn) {
+				defer wg.Done()
+				defer recoverXQ(&errs[i])
+				results[i], errs[i] = drain(fn(fr))
+			}(i, fn)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return errIter(err)
+			}
+		}
+		var out xdm.Sequence
+		for _, r := range results {
+			out = append(out, r...)
+		}
+		return newSliceIter(out)
+	}, true
+}

@@ -1,0 +1,249 @@
+// Package serializer writes XDM instances back to XML text (the "serialize"
+// edge of the data-model life cycle). Sequences are serialized by the
+// XML-output rules: adjacent atomic values are joined with single spaces,
+// nodes are written as markup.
+package serializer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xqgo/internal/xdm"
+)
+
+// Options configure serialization.
+type Options struct {
+	// Indent, when non-empty, pretty-prints element content using the given
+	// unit (e.g. "  ").
+	Indent string
+	// OmitXMLDecl suppresses the <?xml ...?> declaration.
+	OmitXMLDecl bool
+}
+
+// Serializer writes items to an io.Writer.
+type Serializer struct {
+	w    io.Writer
+	opts Options
+	err  error
+}
+
+// New creates a Serializer.
+func New(w io.Writer, opts Options) *Serializer { return &Serializer{w: w, opts: opts} }
+
+// SequenceToString renders a sequence with default options.
+func SequenceToString(seq xdm.Sequence) (string, error) {
+	var b strings.Builder
+	s := New(&b, Options{OmitXMLDecl: true})
+	if err := s.Sequence(seq); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// NodeToString renders one node with default options.
+func NodeToString(n xdm.Node) (string, error) {
+	return SequenceToString(xdm.Sequence{n})
+}
+
+// Sequence serializes a whole sequence.
+func (s *Serializer) Sequence(seq xdm.Sequence) error {
+	if !s.opts.OmitXMLDecl {
+		s.str(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	}
+	prevAtomic := false
+	for _, it := range seq {
+		if n, ok := it.(xdm.Node); ok {
+			s.node(n, nil, 0)
+			prevAtomic = false
+			continue
+		}
+		if prevAtomic {
+			s.str(" ")
+		}
+		s.text(it.(xdm.Atomic).Lexical())
+		prevAtomic = true
+	}
+	return s.err
+}
+
+// nsBinding is one link of the in-scope prefix->URI environment; nil is the
+// empty environment.
+type nsBinding struct {
+	parent *nsBinding
+	prefix string
+	uri    string
+}
+
+func (e *nsBinding) lookup(prefix string) (string, bool) {
+	for p := e; p != nil; p = p.parent {
+		if p.prefix == prefix {
+			return p.uri, true
+		}
+	}
+	if prefix == "xml" {
+		return "http://www.w3.org/XML/1998/namespace", true
+	}
+	return "", false
+}
+
+func (e *nsBinding) prefixFor(uri string) (string, bool) {
+	seen := map[string]bool{}
+	for p := e; p != nil; p = p.parent {
+		if !seen[p.prefix] {
+			seen[p.prefix] = true
+			if p.uri == uri {
+				return p.prefix, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (s *Serializer) node(n xdm.Node, env *nsBinding, depth int) {
+	switch n.Kind() {
+	case xdm.DocumentNode:
+		for _, c := range n.ChildrenOf() {
+			s.node(c, env, depth)
+		}
+	case xdm.ElementNode:
+		s.element(n, env, depth)
+	case xdm.AttributeNode:
+		// A standalone attribute in output is a serialization error in the
+		// spec; we render name="value" as a pragmatic diagnostic form.
+		s.str(n.NodeName().Local + `="`)
+		s.str(escapeAttr(n.StringValue()))
+		s.str(`"`)
+	case xdm.TextNode:
+		s.text(n.StringValue())
+	case xdm.CommentNode:
+		s.str("<!--" + n.StringValue() + "-->")
+	case xdm.PINode:
+		s.str("<?" + n.NodeName().Local + " " + n.StringValue() + "?>")
+	}
+}
+
+func (s *Serializer) element(n xdm.Node, env *nsBinding, depth int) {
+	name := n.NodeName()
+	var decls []string // rendered xmlns attributes
+
+	bind := func(prefix, uri string) {
+		env = &nsBinding{parent: env, prefix: prefix, uri: uri}
+		if prefix == "" {
+			decls = append(decls, fmt.Sprintf(` xmlns="%s"`, escapeAttr(uri)))
+		} else {
+			decls = append(decls, fmt.Sprintf(` xmlns:%s="%s"`, prefix, escapeAttr(uri)))
+		}
+	}
+
+	tag := name.Local
+	if name.Space != "" {
+		if p, ok := env.prefixFor(name.Space); ok {
+			if p != "" {
+				tag = p + ":" + name.Local
+			}
+		} else if _, bound := env.lookup(""); !bound {
+			bind("", name.Space) // claim the default namespace
+		} else {
+			p := s.freshPrefix(env, name.Prefix)
+			bind(p, name.Space)
+			tag = p + ":" + name.Local
+		}
+	} else if uri, bound := env.lookup(""); bound && uri != "" {
+		bind("", "") // undeclare the default namespace
+	}
+
+	var attrStrs []string
+	for _, a := range n.AttributesOf() {
+		an := a.NodeName()
+		aname := an.Local
+		if an.Space != "" {
+			p, ok := env.prefixFor(an.Space)
+			if !ok || p == "" {
+				p = s.freshPrefix(env, an.Prefix)
+				bind(p, an.Space)
+			}
+			aname = p + ":" + an.Local
+		}
+		attrStrs = append(attrStrs, fmt.Sprintf(` %s="%s"`, aname, escapeAttr(a.StringValue())))
+	}
+
+	s.indent(depth)
+	s.str("<" + tag)
+	for _, d := range decls {
+		s.str(d)
+	}
+	for _, a := range attrStrs {
+		s.str(a)
+	}
+	children := n.ChildrenOf()
+	if len(children) == 0 {
+		s.str("/>")
+		s.nl()
+		return
+	}
+	s.str(">")
+	onlyText := true
+	for _, c := range children {
+		if c.Kind() != xdm.TextNode {
+			onlyText = false
+			break
+		}
+	}
+	if !onlyText {
+		s.nl()
+	}
+	for _, c := range children {
+		s.node(c, env, depth+1)
+	}
+	if !onlyText {
+		s.indent(depth)
+	}
+	s.str("</" + tag + ">")
+	s.nl()
+}
+
+func (s *Serializer) freshPrefix(env *nsBinding, hint string) string {
+	if hint != "" && hint != "xml" && hint != "xmlns" {
+		if _, taken := env.lookup(hint); !taken {
+			return hint
+		}
+	}
+	for i := 1; ; i++ {
+		p := fmt.Sprintf("ns%d", i)
+		if _, taken := env.lookup(p); !taken {
+			return p
+		}
+	}
+}
+
+func (s *Serializer) indent(depth int) {
+	if s.opts.Indent != "" {
+		s.str(strings.Repeat(s.opts.Indent, depth))
+	}
+}
+
+func (s *Serializer) nl() {
+	if s.opts.Indent != "" {
+		s.str("\n")
+	}
+}
+
+func (s *Serializer) str(t string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, t)
+	}
+}
+
+func (s *Serializer) text(t string) { s.str(escapeText(t)) }
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;",
+	"\n", "&#10;", "\t", "&#9;",
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

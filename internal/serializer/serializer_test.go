@@ -1,0 +1,220 @@
+package serializer
+
+import (
+	"strings"
+	"testing"
+
+	"xqgo/internal/store"
+	"xqgo/internal/xdm"
+)
+
+func elemDoc(t *testing.T, build func(b *store.Builder)) xdm.Node {
+	t.Helper()
+	b := store.NewBuilder(store.BuilderOptions{})
+	build(b)
+	doc, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.RootNode()
+}
+
+func TestSerializeBasics(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("a"))
+		if err := b.Attr(xdm.LocalName("x"), "1"); err != nil {
+			t.Fatal(err)
+		}
+		b.StartElement(xdm.LocalName("b"))
+		b.Text("hello")
+		b.EndElement()
+		b.StartElement(xdm.LocalName("empty"))
+		b.EndElement()
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<a x="1"><b>hello</b><empty/></a>`
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("a"))
+		if err := b.Attr(xdm.LocalName("q"), `he said "5 < 6 & 7 > 2"`); err != nil {
+			t.Fatal(err)
+		}
+		b.Text(`text with < & >`)
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `q="he said &quot;5 &lt; 6 &amp; 7 &gt; 2&quot;"`) {
+		t.Errorf("attribute escaping: %q", out)
+	}
+	if !strings.Contains(out, `text with &lt; &amp; &gt;`) {
+		t.Errorf("text escaping: %q", out)
+	}
+}
+
+func TestSequenceSerialization(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("e"))
+		b.EndElement()
+	})
+	// Adjacent atomics joined by a space; nodes break the run.
+	out, err := SequenceToString(xdm.Sequence{
+		xdm.NewInteger(1), xdm.NewInteger(2), n, xdm.NewString("x"), xdm.NewString("y"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1 2<e/>x y" {
+		t.Errorf("sequence output = %q", out)
+	}
+}
+
+func TestNamespaceSerialization(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.Name("urn:d", "root"))
+		b.StartElement(xdm.Name("urn:d", "child"))
+		b.EndElement()
+		b.StartElement(xdm.Name("urn:other", "foreign"))
+		b.EndElement()
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default namespace is claimed once; the foreign element re-binds.
+	if !strings.HasPrefix(out, `<root xmlns="urn:d">`) {
+		t.Errorf("default ns binding: %q", out)
+	}
+	if strings.Count(out, `xmlns="urn:d"`) != 1 {
+		t.Errorf("default ns declared once: %q", out)
+	}
+	if !strings.Contains(out, `xmlns="urn:other"`) && !strings.Contains(out, `xmlns:`) {
+		t.Errorf("foreign element needs a binding: %q", out)
+	}
+}
+
+func TestPrefixedAttributeNamespace(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("a"))
+		if err := b.Attr(xdm.QName{Space: "urn:x", Local: "attr", Prefix: "x"}, "v"); err != nil {
+			t.Fatal(err)
+		}
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attributes cannot use the default namespace: a prefix must appear.
+	if !strings.Contains(out, `xmlns:x="urn:x"`) || !strings.Contains(out, `x:attr="v"`) {
+		t.Errorf("prefixed attribute: %q", out)
+	}
+}
+
+func TestCommentPIDocSerialization(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartDocument()
+		b.StartElement(xdm.LocalName("r"))
+		b.Comment(" note ")
+		b.PI("go", "fmt")
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<r><!-- note --><?go fmt?></r>` {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("a"))
+		b.StartElement(xdm.LocalName("b"))
+		b.Text("x")
+		b.EndElement()
+		b.EndElement()
+	})
+	var sb strings.Builder
+	s := New(&sb, Options{Indent: "  ", OmitXMLDecl: true})
+	if err := s.Sequence(xdm.Sequence{n}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "\n  <b>x</b>\n") {
+		t.Errorf("indented output = %q", out)
+	}
+}
+
+func TestXMLDecl(t *testing.T) {
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("a"))
+		b.EndElement()
+	})
+	var sb strings.Builder
+	if err := New(&sb, Options{}).Sequence(xdm.Sequence{n}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), `<?xml version="1.0"`) {
+		t.Errorf("missing XML declaration: %q", sb.String())
+	}
+}
+
+func TestPrefixCollisionGetsFreshPrefix(t *testing.T) {
+	// Two different URIs whose hinted prefixes collide: the second must get
+	// a generated prefix, not silently reuse the first binding.
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.LocalName("r"))
+		if err := b.Attr(xdm.QName{Space: "urn:one", Local: "a", Prefix: "p"}, "1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Attr(xdm.QName{Space: "urn:two", Local: "b", Prefix: "p"}, "2"); err != nil {
+			t.Fatal(err)
+		}
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `xmlns:p="urn:one"`) {
+		t.Errorf("first hint should win: %q", out)
+	}
+	if !strings.Contains(out, `="urn:two"`) {
+		t.Errorf("second URI must be bound: %q", out)
+	}
+	if strings.Count(out, `xmlns:p=`) != 1 {
+		t.Errorf("prefix p bound twice: %q", out)
+	}
+}
+
+func TestDefaultNamespaceUndeclare(t *testing.T) {
+	// A no-namespace child under a default-namespaced parent needs
+	// xmlns="" to round-trip.
+	n := elemDoc(t, func(b *store.Builder) {
+		b.StartElement(xdm.Name("urn:d", "outer"))
+		b.StartElement(xdm.LocalName("inner"))
+		b.EndElement()
+		b.EndElement()
+	})
+	out, err := NodeToString(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `<inner xmlns=""`) && !strings.Contains(out, `xmlns=""`) {
+		t.Errorf("default namespace must be undeclared for inner: %q", out)
+	}
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"xqgo/internal/labeling"
+	"xqgo/internal/xdm"
+)
+
+// docSeq hands out global document-order sequence numbers: nodes in
+// different trees are ordered by the creation order of their trees, which
+// satisfies the data model's "stable, implementation-defined" requirement.
+var docSeq atomic.Uint64
+
+// NSDecl records a namespace declaration (xmlns[:prefix]="uri") on an
+// element, used by the serializer to re-create in-scope bindings.
+type NSDecl struct {
+	Elem   int32
+	Prefix string // empty for the default namespace
+	URI    string
+}
+
+// Document is one tree (a parsed document or a constructed fragment) stored
+// as parallel arrays indexed by node id = pre-order position. Attribute
+// nodes occupy the ids immediately after their owner element, so id order is
+// exactly document order and the pair (id, endID) is a region label.
+type Document struct {
+	Seq     uint64 // global ordering sequence
+	URI     string // base/document URI, may be empty
+	HasRoot bool   // true when node 0 is a document node (parsed documents)
+
+	Names *NamePool
+
+	kind       []xdm.NodeKind
+	name       []int32 // index into Names; -1 for unnamed kinds
+	parent     []int32 // -1 at node 0
+	endID      []int32 // id of last node in the subtree (== own id for leaves)
+	nextSib    []int32 // next sibling id, -1
+	firstChild []int32 // first non-attribute child id, -1
+	value      []string
+	level      []int32
+
+	NS []NSDecl
+}
+
+// NumNodes returns the number of nodes (of all kinds) in the document.
+func (d *Document) NumNodes() int { return len(d.kind) }
+
+// Node returns the node with the given id.
+func (d *Document) Node(id int32) *Node { return &Node{D: d, ID: id} }
+
+// RootNode returns node 0: the document node for parsed documents, the
+// constructed node itself for fragments.
+func (d *Document) RootNode() *Node { return d.Node(0) }
+
+// Region returns the region label of a node: Start = id, End = last
+// descendant id, plus the depth. This is the labeling scheme consumed by the
+// structural-join algorithms.
+func (d *Document) Region(id int32) labeling.Region {
+	return labeling.Region{Start: int64(id), End: int64(d.endID[id]), Level: d.level[id]}
+}
+
+// Dewey computes the Dewey label of a node by walking to the root
+// (O(depth) — provided for the labeling experiments, not the hot path).
+func (d *Document) Dewey(id int32) labeling.Dewey {
+	var rev []uint32
+	for cur := id; cur >= 0; cur = d.parent[cur] {
+		p := d.parent[cur]
+		if p < 0 {
+			rev = append(rev, 1)
+			break
+		}
+		ord := uint32(1)
+		for sib := d.firstSibling(cur); sib != cur; sib = d.nextSib[sib] {
+			ord++
+		}
+		rev = append(rev, ord)
+	}
+	out := make(labeling.Dewey, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func (d *Document) firstSibling(id int32) int32 {
+	p := d.parent[id]
+	if p < 0 {
+		return id
+	}
+	if d.kind[id] == xdm.AttributeNode {
+		return p + 1 // first attribute follows the element
+	}
+	return d.firstChild[p]
+}
+
+// Kind returns the kind of node id.
+func (d *Document) Kind(id int32) xdm.NodeKind { return d.kind[id] }
+
+// NameOf returns the QName of node id (zero for unnamed kinds).
+func (d *Document) NameOf(id int32) xdm.QName {
+	if n := d.name[id]; n >= 0 {
+		return d.Names.Name(n)
+	}
+	return xdm.QName{}
+}
+
+// NameIndex returns the name-pool index of node id, or -1.
+func (d *Document) NameIndex(id int32) int32 { return d.name[id] }
+
+// Value returns the stored value of node id (text content for leaves,
+// attribute value, PI data; empty for elements/documents).
+func (d *Document) Value(id int32) string { return d.value[id] }
+
+// ParentID returns the parent id of node id, or -1.
+func (d *Document) ParentID(id int32) int32 { return d.parent[id] }
+
+// EndID returns the id of the last node in the subtree of id.
+func (d *Document) EndID(id int32) int32 { return d.endID[id] }
+
+// FirstChildID returns the first non-attribute child, or -1.
+func (d *Document) FirstChildID(id int32) int32 { return d.firstChild[id] }
+
+// NextSiblingID returns the next sibling, or -1.
+func (d *Document) NextSiblingID(id int32) int32 { return d.nextSib[id] }
+
+// Level returns the depth of node id (0 at node 0).
+func (d *Document) Level(id int32) int32 { return d.level[id] }
+
+// AttrRange returns the half-open id range of the attribute nodes of an
+// element (empty range if none).
+func (d *Document) AttrRange(elem int32) (from, to int32) {
+	from = elem + 1
+	to = from
+	for int(to) < len(d.kind) && d.kind[to] == xdm.AttributeNode && d.parent[to] == elem {
+		to++
+	}
+	return from, to
+}

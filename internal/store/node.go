@@ -1,0 +1,111 @@
+package store
+
+import (
+	"strings"
+
+	"xqgo/internal/xdm"
+)
+
+// Node is a reference to one node of a Document; it implements xdm.Node.
+// Nodes are value-like: two Node values referring to the same (Document, id)
+// are the same node.
+type Node struct {
+	D  *Document
+	ID int32
+}
+
+var _ xdm.Node = (*Node)(nil)
+
+// IsNode marks Node as the node kind of item.
+func (n *Node) IsNode() bool { return true }
+
+// Kind returns the node kind.
+func (n *Node) Kind() xdm.NodeKind { return n.D.kind[n.ID] }
+
+// NodeName returns the node's expanded name.
+func (n *Node) NodeName() xdm.QName { return n.D.NameOf(n.ID) }
+
+// StringValue returns the string value: for elements and documents the
+// concatenation of all descendant text nodes, for other kinds the stored
+// value.
+func (n *Node) StringValue() string {
+	d, id := n.D, n.ID
+	switch d.kind[id] {
+	case xdm.ElementNode, xdm.DocumentNode:
+		end := d.endID[id]
+		// Fast path: single text child.
+		var b strings.Builder
+		first := true
+		single := ""
+		for i := id + 1; i <= end; i++ {
+			if d.kind[i] == xdm.TextNode {
+				if first {
+					single = d.value[i]
+					first = false
+				} else {
+					if b.Len() == 0 {
+						b.WriteString(single)
+					}
+					b.WriteString(d.value[i])
+				}
+			}
+		}
+		if b.Len() > 0 {
+			return b.String()
+		}
+		return single
+	default:
+		return d.value[id]
+	}
+}
+
+// TypedValue returns the typed value; without schema validation every node
+// is untyped, so this is xs:untypedAtomic of the string value (attributes
+// likewise, per "type(year attribute) = xdt:untypedAtomic").
+func (n *Node) TypedValue() xdm.Atomic { return xdm.NewUntyped(n.StringValue()) }
+
+// Parent returns the parent node, or nil at the tree root.
+func (n *Node) Parent() xdm.Node {
+	p := n.D.parent[n.ID]
+	if p < 0 {
+		return nil
+	}
+	return &Node{D: n.D, ID: p}
+}
+
+// ChildrenOf returns the child nodes (attributes excluded) in document order.
+func (n *Node) ChildrenOf() []xdm.Node {
+	var out []xdm.Node
+	for c := n.D.firstChild[n.ID]; c >= 0; c = n.D.nextSib[c] {
+		out = append(out, &Node{D: n.D, ID: c})
+	}
+	return out
+}
+
+// AttributesOf returns the attribute nodes of an element.
+func (n *Node) AttributesOf() []xdm.Node {
+	from, to := n.D.AttrRange(n.ID)
+	if n.Kind() != xdm.ElementNode || from == to {
+		return nil
+	}
+	out := make([]xdm.Node, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, &Node{D: n.D, ID: i})
+	}
+	return out
+}
+
+// BaseURI returns the document URI.
+func (n *Node) BaseURI() string { return n.D.URI }
+
+// SameNode reports node identity.
+func (n *Node) SameNode(o xdm.Node) bool {
+	so, ok := o.(*Node)
+	return ok && so.D == n.D && so.ID == n.ID
+}
+
+// OrderKey returns the global document-order key.
+func (n *Node) OrderKey() (uint64, int64) { return n.D.Seq, int64(n.ID) }
+
+// Root returns node 0 of the containing tree.
+func (n *Node) Root() xdm.Node { return &Node{D: n.D, ID: 0} }

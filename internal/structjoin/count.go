@@ -1,0 +1,80 @@
+package structjoin
+
+import (
+	"xqgo/internal/store"
+	"xqgo/internal/xdm"
+)
+
+// NavTwigCount counts the full twig embeddings (match tuples) of a pattern
+// by direct tree navigation with memoization — the ground truth the join
+// algorithms are validated against in tests, and the "navigation engine"
+// data point of experiment E6.
+func NavTwigCount(root *TwigNode, d *store.Document) int64 {
+	memo := map[*TwigNode]map[int32]int64{}
+	nodes := root.nodes()
+	for _, q := range nodes {
+		memo[q] = map[int32]int64{}
+	}
+
+	var embeddings func(q *TwigNode, id int32) int64
+	embeddings = func(q *TwigNode, id int32) int64 {
+		if v, ok := memo[q][id]; ok {
+			return v
+		}
+		total := int64(1)
+		for _, c := range q.Children {
+			var sum int64
+			if c.ChildEdge {
+				for ch := d.FirstChildID(id); ch >= 0; ch = d.NextSiblingID(ch) {
+					if d.Kind(ch) == xdm.ElementNode && d.NameOf(ch).Equal(c.Name) {
+						sum += embeddings(c, ch)
+					}
+				}
+			} else {
+				end := d.EndID(id)
+				for ch := id + 1; ch <= end; ch++ {
+					if d.Kind(ch) == xdm.ElementNode && d.NameOf(ch).Equal(c.Name) {
+						sum += embeddings(c, ch)
+					}
+				}
+			}
+			total *= sum
+			if total == 0 {
+				break
+			}
+		}
+		memo[q][id] = total
+		return total
+	}
+
+	var grand int64
+	for id := int32(0); id < int32(d.NumNodes()); id++ {
+		if d.Kind(id) == xdm.ElementNode && d.NameOf(id).Equal(root.Name) {
+			grand += embeddings(root, id)
+		}
+	}
+	return grand
+}
+
+// PathStack runs the holistic join for a linear path pattern. It is
+// TwigStack restricted to one root-to-leaf chain (the PathStack algorithm);
+// exposed separately so benchmarks can compare the two directly.
+func PathStack(root *TwigNode, idx *Index) TwigStats {
+	// For linear patterns TwigStack degenerates to PathStack: same stacks,
+	// same pushes — no branching getNext work.
+	return TwigStack(root, idx)
+}
+
+// IsLinear reports whether the pattern is a single chain.
+func (n *TwigNode) IsLinear() bool {
+	for q := n; ; {
+		switch len(q.Children) {
+		case 0:
+			return true
+		case 1:
+			q = q.Children[0]
+		default:
+			return false
+		}
+	}
+}

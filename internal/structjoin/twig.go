@@ -1,0 +1,307 @@
+package structjoin
+
+import (
+	"fmt"
+	"strings"
+
+	"xqgo/internal/labeling"
+	"xqgo/internal/xdm"
+)
+
+// Twig patterns and the holistic twig-join algorithms (PathStack for linear
+// paths, TwigStack for branching twigs, Bruno/Koudas/Srivastava). The
+// holistic property: intermediate results are root-to-leaf path solutions
+// that are guaranteed to extend to a full match for ancestor/descendant
+// edges, instead of the possibly-huge pairwise outputs of a binary-join
+// plan — exactly the effect experiment E6 measures.
+
+// TwigNode is one node of a twig pattern.
+type TwigNode struct {
+	Name xdm.QName
+	// ChildEdge: the edge to the parent is parent/child rather than
+	// ancestor/descendant.
+	ChildEdge bool
+	Children  []*TwigNode
+
+	// runtime state
+	stream List
+	pos    int
+	stack  []twigEntry
+	parent *TwigNode
+}
+
+type twigEntry struct {
+	post Posting
+	// ptr is the index of the top of the parent stack at push time (-1 if
+	// the parent stack was empty / node is root).
+	ptr int
+	// count is the number of root-to-this partial solutions this entry
+	// participates in.
+	count int64
+}
+
+// Path builds a linear twig a//b//c... (ancestor/descendant edges).
+func Path(names ...string) *TwigNode {
+	var root, cur *TwigNode
+	for _, n := range names {
+		node := &TwigNode{Name: xdm.LocalName(n)}
+		if root == nil {
+			root = node
+		} else {
+			cur.Children = append(cur.Children, node)
+		}
+		cur = node
+	}
+	return root
+}
+
+// ParseTwig parses a compact twig syntax: "a//b", "a/b" (child edge),
+// branches in brackets: "a[b//c]//d".
+func ParseTwig(s string) (*TwigNode, error) {
+	p := &twigParser{src: s}
+	n, err := p.node(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("twig: trailing input at %d in %q", p.pos, s)
+	}
+	return n, nil
+}
+
+type twigParser struct {
+	src string
+	pos int
+}
+
+func (p *twigParser) node(childEdge bool) (*TwigNode, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (isTwigNameChar(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("twig: expected a name at %d in %q", p.pos, p.src)
+	}
+	n := &TwigNode{Name: xdm.LocalName(p.src[start:p.pos]), ChildEdge: childEdge}
+	for p.pos < len(p.src) {
+		switch {
+		case p.src[p.pos] == '[':
+			p.pos++
+			child, err := p.branchContent()
+			if err != nil {
+				return nil, err
+			}
+			if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+				return nil, fmt.Errorf("twig: missing ] in %q", p.src)
+			}
+			p.pos++
+			n.Children = append(n.Children, child)
+		case strings.HasPrefix(p.src[p.pos:], "//"):
+			p.pos += 2
+			child, err := p.node(false)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			return n, nil
+		case p.src[p.pos] == '/':
+			p.pos++
+			child, err := p.node(true)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			return n, nil
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (p *twigParser) branchContent() (*TwigNode, error) {
+	if strings.HasPrefix(p.src[p.pos:], "//") {
+		p.pos += 2
+		return p.node(false)
+	}
+	return p.node(false)
+}
+
+func isTwigNameChar(c byte) bool {
+	return c == '-' || c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// String renders the twig pattern.
+func (n *TwigNode) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *TwigNode) render(b *strings.Builder) {
+	b.WriteString(n.Name.Local)
+	for i, c := range n.Children {
+		last := i == len(n.Children)-1
+		if !last {
+			b.WriteByte('[')
+		} else if c.ChildEdge {
+			b.WriteByte('/')
+		} else {
+			b.WriteString("//")
+		}
+		c.render(b)
+		if !last {
+			b.WriteByte(']')
+		}
+	}
+}
+
+// nodes collects the pattern nodes (pre-order) and sets parent links.
+func (n *TwigNode) nodes() []*TwigNode {
+	var out []*TwigNode
+	var walk func(t *TwigNode, parent *TwigNode)
+	walk = func(t *TwigNode, parent *TwigNode) {
+		t.parent = parent
+		out = append(out, t)
+		for _, c := range t.Children {
+			walk(c, t)
+		}
+	}
+	walk(n, nil)
+	return out
+}
+
+// TwigStats reports the work and intermediate-result volume of a twig join.
+type TwigStats struct {
+	// PathSolutions is the number of root-to-leaf solutions produced (the
+	// holistic algorithms' total intermediate size).
+	PathSolutions int64
+	// Pushes and Advances count stack pushes and stream advances.
+	Pushes   int64
+	Advances int64
+}
+
+const infStart = int64(1)<<62 - 1
+
+func (t *TwigNode) next() Posting {
+	if t.pos < len(t.stream) {
+		return t.stream[t.pos]
+	}
+	return Posting{Region: labeling.Region{Start: infStart, End: infStart}}
+}
+
+func (t *TwigNode) eof() bool { return t.pos >= len(t.stream) }
+
+// TwigStack runs the holistic twig join of pattern root against an index.
+// It returns the total number of root-to-leaf path solutions (merged-match
+// counting is done by MergeCount) and work statistics.
+func TwigStack(root *TwigNode, idx *Index) TwigStats {
+	nodes := root.nodes()
+	for _, q := range nodes {
+		q.stream = idx.Elements(q.Name)
+		q.pos = 0
+		q.stack = q.stack[:0]
+	}
+	var stats TwigStats
+
+	var getNext func(q *TwigNode) *TwigNode
+	getNext = func(q *TwigNode) *TwigNode {
+		if len(q.Children) == 0 {
+			return q
+		}
+		var nmin, nmax *TwigNode
+		for _, qi := range q.Children {
+			ni := getNext(qi)
+			if ni != qi {
+				return ni
+			}
+			if nmin == nil || qi.next().Region.Start < nmin.next().Region.Start {
+				nmin = qi
+			}
+			if nmax == nil || qi.next().Region.Start > nmax.next().Region.Start {
+				nmax = qi
+			}
+		}
+		for q.next().Region.End < nmax.next().Region.Start {
+			q.pos++
+			stats.Advances++
+		}
+		if q.next().Region.Start < nmin.next().Region.Start {
+			return q
+		}
+		return nmin
+	}
+
+	anyLeafLive := func() bool {
+		for _, q := range nodes {
+			if len(q.Children) == 0 && !q.eof() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for anyLeafLive() {
+		qact := getNext(root)
+		if qact.eof() {
+			break
+		}
+		cur := qact.next()
+		// Clean ended entries from the parent stack and own stack.
+		if qact.parent != nil {
+			cleanStack(qact.parent, cur.Region.Start)
+		}
+		cleanStack(qact, cur.Region.Start)
+		if qact.parent == nil || len(qact.parent.stack) > 0 {
+			// push with count propagation
+			var cnt int64 = 1
+			ptr := -1
+			if qact.parent != nil {
+				ptr = len(qact.parent.stack) - 1
+				cnt = 0
+				for i := 0; i <= ptr; i++ {
+					e := &qact.parent.stack[i]
+					if qact.ChildEdge && e.post.Region.Level+1 != cur.Region.Level {
+						continue
+					}
+					cnt += e.count
+				}
+			}
+			if cnt > 0 {
+				qact.stack = append(qact.stack, twigEntry{post: cur, ptr: ptr, count: cnt})
+				stats.Pushes++
+				if len(qact.Children) == 0 {
+					stats.PathSolutions += cnt
+					qact.stack = qact.stack[:len(qact.stack)-1] // leaves pop immediately
+				}
+			}
+		}
+		qact.pos++
+		stats.Advances++
+	}
+	return stats
+}
+
+func cleanStack(q *TwigNode, nextStart int64) {
+	for len(q.stack) > 0 && q.stack[len(q.stack)-1].post.Region.End < nextStart {
+		q.stack = q.stack[:len(q.stack)-1]
+	}
+}
+
+// BinaryPlanStats decomposes the twig into binary structural joins (one per
+// edge, evaluated independently on the name posting lists) and reports the
+// total intermediate pairs a binary-join plan materializes — the comparator
+// of E6.
+func BinaryPlanStats(root *TwigNode, idx *Index) (totalPairs int64) {
+	var walk func(t *TwigNode)
+	walk = func(t *TwigNode) {
+		for _, c := range t.Children {
+			pairs := StackTreeDesc(idx.Elements(t.Name), idx.Elements(c.Name), c.ChildEdge)
+			totalPairs += int64(len(pairs))
+			walk(c)
+		}
+	}
+	walk(root)
+	return totalPairs
+}

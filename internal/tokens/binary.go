@@ -1,0 +1,382 @@
+package tokens
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xqgo/internal/xdm"
+)
+
+// Binary token-stream encoding ("Disk: binary representation (compressed)").
+// Each token is an opcode byte plus payload. With pooling enabled, QNames
+// and string values are dictionary-compressed: the first occurrence defines
+// a dictionary entry in-band (the paper's "special pragma tokens"), later
+// occurrences are varint references.
+
+// EncodeOptions configure binary encoding.
+type EncodeOptions struct {
+	// PoolNames dictionary-compresses QNames.
+	PoolNames bool
+	// PoolValues dictionary-compresses text and attribute values.
+	PoolValues bool
+}
+
+// Encoder writes tokens in the binary format.
+type Encoder struct {
+	w      *bufio.Writer
+	opts   EncodeOptions
+	names  map[nameKey]uint64
+	values map[string]uint64
+	err    error
+}
+
+type nameKey struct{ space, local string }
+
+// NewEncoder creates an Encoder.
+func NewEncoder(w io.Writer, opts EncodeOptions) *Encoder {
+	return &Encoder{
+		w:      bufio.NewWriter(w),
+		opts:   opts,
+		names:  make(map[nameKey]uint64),
+		values: make(map[string]uint64),
+	}
+}
+
+const (
+	opStartDoc = iota + 1
+	opEndDoc
+	opStartElem
+	opEndElem
+	opAttr
+	opNS
+	opText
+	opComment
+	opPI
+	opAtomic
+)
+
+func (e *Encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *Encoder) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	if e.err == nil {
+		_, e.err = e.w.Write(buf[:n])
+	}
+}
+
+func (e *Encoder) rawString(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// pooledString writes either a back-reference (tag = id+2) or an inline
+// definition (tag 1 followed by the bytes, which also defines dictionary
+// entry len(pool)); tag 0 is reserved for "" to keep empty strings free.
+func (e *Encoder) pooledString(s string, pool map[string]uint64, enabled bool) {
+	if s == "" {
+		e.uvarint(0)
+		return
+	}
+	if enabled {
+		if id, ok := pool[s]; ok {
+			e.uvarint(id + 2)
+			return
+		}
+		pool[s] = uint64(len(pool))
+	}
+	e.uvarint(1)
+	e.rawString(s)
+}
+
+func (e *Encoder) name(q xdm.QName) {
+	if e.opts.PoolNames {
+		k := nameKey{q.Space, q.Local}
+		if id, ok := e.names[k]; ok {
+			e.uvarint(id + 2)
+			return
+		}
+		e.names[k] = uint64(len(e.names))
+	}
+	e.uvarint(1)
+	e.rawString(q.Space)
+	e.rawString(q.Local)
+}
+
+// Encode writes one token.
+func (e *Encoder) Encode(t Token) error {
+	switch t.Kind {
+	case KindStartDocument:
+		e.byte(opStartDoc)
+	case KindEndDocument:
+		e.byte(opEndDoc)
+	case KindStartElement:
+		e.byte(opStartElem)
+		e.name(t.Name)
+	case KindEndElement:
+		e.byte(opEndElem)
+	case KindAttribute:
+		e.byte(opAttr)
+		e.name(t.Name)
+		e.pooledString(t.Value, e.values, e.opts.PoolValues)
+	case KindNamespace:
+		e.byte(opNS)
+		e.rawString(t.Name.Local)
+		e.rawString(t.Value)
+	case KindText:
+		e.byte(opText)
+		e.pooledString(t.Value, e.values, e.opts.PoolValues)
+	case KindComment:
+		e.byte(opComment)
+		e.rawString(t.Value)
+	case KindPI:
+		e.byte(opPI)
+		e.rawString(t.Name.Local)
+		e.rawString(t.Value)
+	case KindAtomic:
+		e.byte(opAtomic)
+		e.byte(byte(t.Atom.T))
+		e.rawString(t.Atom.Lexical())
+	default:
+		return fmt.Errorf("tokens: cannot encode token kind %v", t.Kind)
+	}
+	return e.err
+}
+
+// EncodeStream drains an iterator into the encoder and flushes.
+func (e *Encoder) EncodeStream(it Iterator) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := e.Encode(t); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+// Flush flushes buffered output.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads the binary format as a token Iterator. EndElement names
+// (not stored in the encoding) are reconstructed from an element stack so
+// the decoded stream is token-identical to the encoded one.
+type Decoder struct {
+	r      *bufio.Reader
+	names  []xdm.QName
+	values []string
+	open   []xdm.QName
+	// skip support: depth bookkeeping
+	lastWasStart bool
+	depthAtStart int
+	depth        int
+}
+
+// NewDecoder creates a Decoder over binary token data.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: bufio.NewReader(r)} }
+
+// Open implements Iterator.
+func (d *Decoder) Open() error { return nil }
+
+// Close implements Iterator.
+func (d *Decoder) Close() {}
+
+func (d *Decoder) rawString() (string, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *Decoder) pooledString() (string, error) {
+	tag, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	switch tag {
+	case 0:
+		return "", nil
+	case 1:
+		s, err := d.rawString()
+		if err != nil {
+			return "", err
+		}
+		d.values = append(d.values, s)
+		return s, nil
+	default:
+		id := tag - 2
+		if id >= uint64(len(d.values)) {
+			return "", fmt.Errorf("tokens: bad string back-reference %d", id)
+		}
+		return d.values[id], nil
+	}
+}
+
+func (d *Decoder) name() (xdm.QName, error) {
+	tag, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return xdm.QName{}, err
+	}
+	if tag == 1 {
+		space, err := d.rawString()
+		if err != nil {
+			return xdm.QName{}, err
+		}
+		local, err := d.rawString()
+		if err != nil {
+			return xdm.QName{}, err
+		}
+		q := xdm.QName{Space: space, Local: local}
+		d.names = append(d.names, q)
+		return q, nil
+	}
+	id := tag - 2
+	if id >= uint64(len(d.names)) {
+		return xdm.QName{}, fmt.Errorf("tokens: bad name back-reference %d", id)
+	}
+	return d.names[id], nil
+}
+
+// Next implements Iterator.
+func (d *Decoder) Next() (Token, bool, error) {
+	op, err := d.r.ReadByte()
+	if err == io.EOF {
+		return Token{}, false, nil
+	}
+	if err != nil {
+		return Token{}, false, err
+	}
+	d.lastWasStart = false
+	switch op {
+	case opStartDoc:
+		d.depth++
+		d.lastWasStart = true
+		d.depthAtStart = d.depth
+		return Token{Kind: KindStartDocument}, true, nil
+	case opEndDoc:
+		d.depth--
+		return Token{Kind: KindEndDocument}, true, nil
+	case opStartElem:
+		q, err := d.name()
+		if err != nil {
+			return Token{}, false, err
+		}
+		d.depth++
+		d.lastWasStart = true
+		d.depthAtStart = d.depth
+		d.open = append(d.open, q)
+		return Token{Kind: KindStartElement, Name: q}, true, nil
+	case opEndElem:
+		d.depth--
+		var q xdm.QName
+		if n := len(d.open); n > 0 {
+			q = d.open[n-1]
+			d.open = d.open[:n-1]
+		}
+		return Token{Kind: KindEndElement, Name: q}, true, nil
+	case opAttr:
+		q, err := d.name()
+		if err != nil {
+			return Token{}, false, err
+		}
+		v, err := d.pooledString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindAttribute, Name: q, Value: v}, true, nil
+	case opNS:
+		p, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		u, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindNamespace, Name: xdm.LocalName(p), Value: u}, true, nil
+	case opText:
+		v, err := d.pooledString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindText, Value: v}, true, nil
+	case opComment:
+		v, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindComment, Value: v}, true, nil
+	case opPI:
+		target, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		v, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindPI, Name: xdm.LocalName(target), Value: v}, true, nil
+	case opAtomic:
+		tc, err := d.r.ReadByte()
+		if err != nil {
+			return Token{}, false, err
+		}
+		lex, err := d.rawString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		a, err := xdm.Cast(xdm.NewString(lex), xdm.TypeCode(tc))
+		if err != nil {
+			return Token{}, false, err
+		}
+		return Token{Kind: KindAtomic, Atom: a}, true, nil
+	default:
+		return Token{}, false, fmt.Errorf("tokens: bad opcode %d", op)
+	}
+}
+
+// Skip implements Iterator by reading and discarding tokens until the
+// subtree opened by the last Start token is closed.
+func (d *Decoder) Skip() error {
+	if !d.lastWasStart {
+		return nil
+	}
+	target := d.depthAtStart - 1
+	for d.depth > target {
+		_, ok, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("tokens: EOF during Skip")
+		}
+	}
+	return nil
+}

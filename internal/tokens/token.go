@@ -1,0 +1,71 @@
+// Package tokens implements the BEA/XQRL TokenStream and TokenIterator: an
+// XDM instance represented as a flat sequence of fine-grained tokens (the
+// "array" storage mode of the paper), plus a pull-based iterator contract
+// with open/next/skip/close. skip() is the remedy the paper introduces for
+// the low granularity of tokens: it advances past the current subtree
+// without producing its tokens, and over array-backed sources it is O(1).
+//
+// The package also provides the buffer-iterator factory used for common
+// sub-expressions and a binary encoding with dictionary pooling
+// ("Optimizing the TokenStream: Tips & Tricks").
+package tokens
+
+import "xqgo/internal/xdm"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero token.
+	KindInvalid Kind = iota
+	// KindStartDocument / KindEndDocument bracket a document node.
+	KindStartDocument
+	KindEndDocument
+	// KindStartElement / KindEndElement bracket an element; StartElement
+	// carries the name.
+	KindStartElement
+	KindEndElement
+	// KindAttribute carries a (name, value) pair; attribute tokens follow
+	// their StartElement immediately.
+	KindAttribute
+	// KindNamespace carries a prefix (in Name.Local) and URI (in Value).
+	KindNamespace
+	// KindText carries character content.
+	KindText
+	// KindComment and KindPI carry the respective node content.
+	KindComment
+	KindPI
+	// KindAtomic carries an atomic value: sequences are heterogeneous, so
+	// atomic items travel in the same stream as node markup.
+	KindAtomic
+)
+
+var kindNames = [...]string{
+	"invalid", "startDocument", "endDocument", "startElement", "endElement",
+	"attribute", "namespace", "text", "comment", "pi", "atomic",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Token is one event of a token stream.
+type Token struct {
+	Kind  Kind
+	Name  xdm.QName  // element/attribute/PI name; namespace prefix
+	Value string     // text/attribute/comment/PI content; namespace URI
+	Atom  xdm.Atomic // payload of KindAtomic
+}
+
+// Iterator is the pull interface of the paper's extended iterator model.
+//
+//	open()  — prepare execution, allocate resources
+//	next()  — return the next token; ok=false at end of stream
+//	skip()  — skip all remaining tokens of the current subtree: after a
+//	          StartElement/StartDocument token was returned, Skip advances
+//	          just past the matching End token
+//	close() — release resources
+type Iterator interface {
+	Open() error
+	Next() (Token, bool, error)
+	Skip() error
+	Close()
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqgo/internal/store"
+)
+
+// Trading-partner configuration documents: the shape of the paper's
+// "fraction of a real customer query" input (WebLogic Integration ebXML /
+// RosettaNet trading-partner management). Each trading partner carries
+// identity attributes, addresses, certificates, delivery channels,
+// document exchanges and transports; collaboration agreements join
+// partners pairwise via delivery-channel names — feeding the three-way
+// where-joins in the customer query.
+
+// TPConfig sizes a trading-partner configuration.
+type TPConfig struct {
+	Partners   int
+	Agreements int
+	Seed       int64
+}
+
+var protocols = []string{"http", "https"}
+
+// TradingPartners generates a wlc configuration document.
+func TradingPartners(cfg TPConfig) *store.Document {
+	if cfg.Agreements == 0 {
+		cfg.Agreements = cfg.Partners / 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := store.NewBuilder(store.BuilderOptions{URI: fmt.Sprintf("wlc-%d.xml", cfg.Partners)})
+	b.StartDocument()
+	b.StartElement(q("wlc"))
+
+	for i := 0; i < cfg.Partners; i++ {
+		name := fmt.Sprintf("partner-%04d", i)
+		b.StartElement(q("trading-partner"))
+		must(b.Attr(q("name"), name))
+		must(b.Attr(q("description"), "generated trading partner"))
+		must(b.Attr(q("type"), pick(rng, "LOCAL", "REMOTE")))
+		must(b.Attr(q("email"), name+"@example.com"))
+		must(b.Attr(q("phone"), fmt.Sprintf("+1-555-%04d", rng.Intn(10000))))
+		must(b.Attr(q("user-name"), name))
+
+		b.StartElement(q("party-identifier"))
+		must(b.Attr(q("business-id"), fmt.Sprintf("DUNS-%09d", rng.Intn(1_000_000_000))))
+		b.EndElement()
+
+		b.StartElement(q("address"))
+		b.Text(fmt.Sprintf("%d Integration Way, Suite %d", 100+rng.Intn(900), rng.Intn(50)))
+		b.EndElement()
+
+		if rng.Intn(3) > 0 {
+			b.StartElement(q("client-certificate"))
+			must(b.Attr(q("name"), name+"-client-cert"))
+			b.EndElement()
+		}
+		if rng.Intn(3) > 0 {
+			b.StartElement(q("server-certificate"))
+			must(b.Attr(q("name"), name+"-server-cert"))
+			b.EndElement()
+		}
+		b.StartElement(q("signature-certificate"))
+		must(b.Attr(q("name"), name+"-sig-cert"))
+		b.EndElement()
+		b.StartElement(q("encryption-certificate"))
+		must(b.Attr(q("name"), name+"-enc-cert"))
+		b.EndElement()
+
+		// Delivery channel + document exchange + transport triples; the
+		// customer query joins these three by name.
+		channels := 1 + rng.Intn(2)
+		for cch := 0; cch < channels; cch++ {
+			proto := pick(rng, "ebXML", "RosettaNet")
+			chName := fmt.Sprintf("%s-channel-%d", name, cch)
+			deName := fmt.Sprintf("%s-exchange-%d", name, cch)
+			tpName := fmt.Sprintf("%s-transport-%d", name, cch)
+
+			b.StartElement(q("delivery-channel"))
+			must(b.Attr(q("name"), chName))
+			must(b.Attr(q("document-exchange-name"), deName))
+			must(b.Attr(q("transport-name"), tpName))
+			must(b.Attr(q("nonrepudiation-of-origin"), pick(rng, "true", "false")))
+			must(b.Attr(q("nonrepudiation-of-receipt"), pick(rng, "true", "false")))
+			b.EndElement()
+
+			b.StartElement(q("document-exchange"))
+			must(b.Attr(q("name"), deName))
+			must(b.Attr(q("business-protocol-name"), proto))
+			must(b.Attr(q("protocol-version"), pick(rng, "1.0", "2.0")))
+			b.StartElement(q(proto + "-binding"))
+			must(b.Attr(q("signature-certificate-name"), name+"-sig-cert"))
+			if proto == "ebXML" {
+				must(b.Attr(q("delivery-semantics"), pick(rng, "OnceAndOnlyOnce", "BestEffort")))
+				if rng.Intn(2) == 0 {
+					must(b.Attr(q("ttl"), fmt.Sprint((1+rng.Intn(60))*1000)))
+				}
+			} else {
+				must(b.Attr(q("encryption-certificate-name"), name+"-enc-cert"))
+				must(b.Attr(q("cipher-algorithm"), "RC5"))
+				must(b.Attr(q("encryption-level"), fmt.Sprint(rng.Intn(3))))
+				if rng.Intn(2) == 0 {
+					must(b.Attr(q("time-out"), fmt.Sprint((1+rng.Intn(300))*1000)))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				must(b.Attr(q("retries"), fmt.Sprint(1+rng.Intn(5))))
+			}
+			if rng.Intn(2) == 0 {
+				must(b.Attr(q("retry-interval"), fmt.Sprint((1+rng.Intn(30))*1000)))
+			}
+			b.EndElement() // binding
+			b.EndElement() // document-exchange
+
+			b.StartElement(q("transport"))
+			must(b.Attr(q("name"), tpName))
+			must(b.Attr(q("protocol"), protocols[rng.Intn(len(protocols))]))
+			must(b.Attr(q("protocol-version"), "1.1"))
+			b.StartElement(q("endpoint"))
+			must(b.Attr(q("uri"), fmt.Sprintf("https://%s.example.com/exchange", name)))
+			b.EndElement()
+			b.EndElement()
+		}
+		b.EndElement() // trading-partner
+	}
+
+	for i := 0; i < cfg.Agreements; i++ {
+		p1 := rng.Intn(cfg.Partners)
+		p2 := rng.Intn(cfg.Partners)
+		b.StartElement(q("collaboration-agreement"))
+		must(b.Attr(q("name"), fmt.Sprintf("agreement-%04d", i)))
+		for _, pidx := range []int{p1, p2} {
+			b.StartElement(q("party"))
+			must(b.Attr(q("trading-partner-name"), fmt.Sprintf("partner-%04d", pidx)))
+			must(b.Attr(q("delivery-channel-name"), fmt.Sprintf("partner-%04d-channel-0", pidx)))
+			b.EndElement()
+		}
+		b.EndElement()
+	}
+
+	// Conversation definitions for the service-pair part of the query.
+	for i := 0; i < cfg.Partners/2; i++ {
+		b.StartElement(q("conversation-definition"))
+		must(b.Attr(q("business-protocol-name"), pick(rng, "ebXML", "RosettaNet")))
+		b.StartElement(q("role"))
+		must(b.Attr(q("wlpi-template"), fmt.Sprintf("flow-%03d", i)))
+		must(b.Attr(q("description"), "generated role"))
+		b.EndElement()
+		b.EndElement()
+	}
+
+	b.EndElement() // wlc
+	doc, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+// TradingPartnerQuery is a scaled-down version of the paper's customer
+// transformation: one outer FOR over trading partners, nested FLWORs over
+// certificates, and the three-way delivery-channel/document-exchange/
+// transport join guarded by the business protocol.
+const TradingPartnerQuery = `
+declare variable $wlc external;
+for $tp in $wlc/wlc/trading-partner
+return
+  <trading-partner
+      name="{$tp/@name}"
+      business-id="{$tp/party-identifier/@business-id}"
+      type="{$tp/@type}"
+      email="{$tp/@email}">
+    { for $tp-ad in $tp/address return $tp-ad }
+    { for $client-cert in $tp/client-certificate
+      return <client-certificate name="{$client-cert/@name}"/> }
+    { for $server-cert in $tp/server-certificate
+      return <server-certificate name="{$server-cert/@name}"/> }
+    { for $eb-dc in $tp/delivery-channel,
+          $eb-de in $tp/document-exchange,
+          $eb-tp in $tp/transport
+      where $eb-dc/@document-exchange-name eq $eb-de/@name
+        and $eb-dc/@transport-name eq $eb-tp/@name
+        and $eb-de/@business-protocol-name eq "ebXML"
+      return
+        <ebxml-binding
+            name="{$eb-dc/@name}"
+            business-protocol-version="{$eb-de/@protocol-version}"
+            is-signature-required="{$eb-dc/@nonrepudiation-of-origin}"
+            delivery-semantics="{$eb-de/ebXML-binding/@delivery-semantics}">
+          { if (empty($eb-de/ebXML-binding/@ttl)) then ()
+            else attribute persist-duration
+              { concat(($eb-de/ebXML-binding/@ttl div 1000), " seconds") } }
+          <transport
+              protocol="{$eb-tp/@protocol}"
+              protocol-version="{$eb-tp/@protocol-version}"
+              endpoint="{$eb-tp/endpoint[1]/@uri}"/>
+        </ebxml-binding> }
+  </trading-partner>
+`

@@ -1,0 +1,318 @@
+package xdm
+
+import (
+	"math"
+	"time"
+)
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv  // div
+	OpIDiv // idiv
+	OpMod  // mod
+)
+
+var arithNames = [...]string{"+", "-", "*", "div", "idiv", "mod"}
+
+func (op ArithOp) String() string { return arithNames[op] }
+
+// Arith applies the paper's arithmetic rules to two already-atomized
+// operands: untyped operands are cast to xs:double; numeric operands are
+// promoted to a common type; date/duration combinations are dispatched to
+// the temporal rules; anything else is a type error. (The empty-sequence
+// rule — () as operand yields () — is handled by the evaluator before
+// calling Arith.)
+func Arith(op ArithOp, a, b Atomic) (Atomic, error) {
+	var err error
+	if a.T == TUntyped {
+		if a, err = Cast(a, TDouble); err != nil {
+			return Atomic{}, ErrCast("untyped operand %q is not a number", a.S)
+		}
+	}
+	if b.T == TUntyped {
+		if b, err = Cast(b, TDouble); err != nil {
+			return Atomic{}, ErrCast("untyped operand %q is not a number", b.S)
+		}
+	}
+	if a.T.IsNumeric() && b.T.IsNumeric() {
+		return numericArith(op, a, b)
+	}
+	if r, ok, err := temporalArith(op, a, b); ok {
+		return r, err
+	}
+	return Atomic{}, ErrType("operator %s not defined for %s and %s", op, a.T, b.T)
+}
+
+func numericArith(op ArithOp, a, b Atomic) (Atomic, error) {
+	common := Promote(a.T, b.T)
+	switch op {
+	case OpIDiv:
+		// idiv always yields xs:integer.
+		if common == TDouble || common == TFloat {
+			fa, fb := a.AsFloat(), b.AsFloat()
+			if fb == 0 {
+				return Atomic{}, ErrDivZero()
+			}
+			q := math.Trunc(fa / fb)
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				return Atomic{}, ErrOverflow()
+			}
+			return NewInteger(int64(q)), nil
+		}
+		ia, ib := a.AsInt(), b.AsInt()
+		if common == TDecimal {
+			fa, fb := a.AsFloat(), b.AsFloat()
+			if fb == 0 {
+				return Atomic{}, ErrDivZero()
+			}
+			return NewInteger(int64(math.Trunc(fa / fb))), nil
+		}
+		if ib == 0 {
+			return Atomic{}, ErrDivZero()
+		}
+		return NewInteger(ia / ib), nil
+	case OpDiv:
+		// Integer div integer yields xs:decimal.
+		if common == TInteger {
+			common = TDecimal
+		}
+	}
+
+	switch common {
+	case TInteger:
+		ia, ib := a.I, b.I
+		switch op {
+		case OpAdd:
+			if r, ok := addI64(ia, ib); ok {
+				return NewInteger(r), nil
+			}
+		case OpSub:
+			if ib != math.MinInt64 {
+				if r, ok := addI64(ia, -ib); ok {
+					return NewInteger(r), nil
+				}
+			}
+		case OpMul:
+			if r, ok := mulI64(ia, ib); ok {
+				return NewInteger(r), nil
+			}
+		case OpMod:
+			if ib == 0 {
+				return Atomic{}, ErrDivZero()
+			}
+			return NewInteger(ia % ib), nil
+		}
+		return Atomic{}, ErrOverflow()
+	case TDecimal:
+		// Exact path when both decimals are scaled int64s and the result fits.
+		if r, ok := exactDecimalArith(op, a, b); ok {
+			return r, nil
+		}
+		fa, fb := a.AsFloat(), b.AsFloat()
+		r, err := floatArith(op, fa, fb, true)
+		if err != nil {
+			return Atomic{}, err
+		}
+		return NewDecimalFloat(r), nil
+	case TFloat:
+		r, err := floatArith(op, a.AsFloat(), b.AsFloat(), false)
+		if err != nil {
+			return Atomic{}, err
+		}
+		return NewFloat(r), nil
+	default: // TDouble
+		r, err := floatArith(op, a.AsFloat(), b.AsFloat(), false)
+		if err != nil {
+			return Atomic{}, err
+		}
+		return NewDouble(r), nil
+	}
+}
+
+// exactDecimalArith performs add/sub/mul on scaled-int64 decimals when both
+// operands and the result stay exact.
+func exactDecimalArith(op ArithOp, a, b Atomic) (Atomic, bool) {
+	da, oka := asScaledDecimal(a)
+	db, okb := asScaledDecimal(b)
+	if !oka || !okb {
+		return Atomic{}, false
+	}
+	switch op {
+	case OpAdd, OpSub:
+		// Align scales.
+		for da.Scale < db.Scale {
+			v, ok := mulI64(da.I, 10)
+			if !ok {
+				return Atomic{}, false
+			}
+			da.I, da.Scale = v, da.Scale+1
+		}
+		for db.Scale < da.Scale {
+			v, ok := mulI64(db.I, 10)
+			if !ok {
+				return Atomic{}, false
+			}
+			db.I, db.Scale = v, db.Scale+1
+		}
+		bi := db.I
+		if op == OpSub {
+			bi = -bi
+		}
+		r, ok := addI64(da.I, bi)
+		if !ok {
+			return Atomic{}, false
+		}
+		return NewDecimal(r, da.Scale), true
+	case OpMul:
+		r, ok := mulI64(da.I, db.I)
+		if !ok || int(da.Scale)+int(db.Scale) > 18 {
+			return Atomic{}, false
+		}
+		return NewDecimal(r, da.Scale+db.Scale), true
+	}
+	return Atomic{}, false
+}
+
+func asScaledDecimal(a Atomic) (Atomic, bool) {
+	switch {
+	case a.T == TDecimal && a.Dec:
+		return a, true
+	case a.T == TInteger:
+		return NewDecimal(a.I, 0), true
+	}
+	return Atomic{}, false
+}
+
+func floatArith(op ArithOp, a, b float64, isDecimal bool) (float64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if isDecimal && b == 0 {
+			return 0, ErrDivZero()
+		}
+		return a / b, nil
+	case OpMod:
+		if isDecimal && b == 0 {
+			return 0, ErrDivZero()
+		}
+		return math.Mod(a, b), nil
+	}
+	return 0, ErrType("bad float op %s", op)
+}
+
+func addI64(a, b int64) (int64, bool) {
+	r := a + b
+	if (a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		return 0, false
+	}
+	return r, true
+}
+
+func mulI64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// temporalArith handles date/time ± duration, duration ± duration,
+// duration * number, and dateTime - dateTime. ok reports whether the type
+// combination was temporal at all.
+func temporalArith(op ArithOp, a, b Atomic) (Atomic, bool, error) {
+	switch {
+	// duration + duration, duration - duration (same subtype)
+	case a.T == TYearMonthDuration && b.T == TYearMonthDuration && (op == OpAdd || op == OpSub):
+		if op == OpAdd {
+			return NewYearMonthDuration(a.I + b.I), true, nil
+		}
+		return NewYearMonthDuration(a.I - b.I), true, nil
+	case a.T == TDayTimeDuration && b.T == TDayTimeDuration:
+		switch op {
+		case OpAdd:
+			return NewDayTimeDuration(time.Duration(a.I + b.I)), true, nil
+		case OpSub:
+			return NewDayTimeDuration(time.Duration(a.I - b.I)), true, nil
+		case OpDiv:
+			if b.I == 0 {
+				return Atomic{}, true, ErrDivZero()
+			}
+			return NewDecimalFloat(float64(a.I) / float64(b.I)), true, nil
+		}
+	// duration * number / number * duration
+	case a.T.IsDuration() && b.T.IsNumeric() && (op == OpMul || op == OpDiv):
+		f := b.AsFloat()
+		if op == OpDiv {
+			if f == 0 {
+				return Atomic{}, true, ErrDivZero()
+			}
+			f = 1 / f
+		}
+		if a.T == TYearMonthDuration {
+			return NewYearMonthDuration(int64(math.Round(float64(a.I) * f))), true, nil
+		}
+		return NewDayTimeDuration(time.Duration(float64(a.I) * f)), true, nil
+	case a.T.IsNumeric() && b.T.IsDuration() && op == OpMul:
+		return temporalArith(op, b, a)
+	// dateTime/date/time ± dayTimeDuration
+	case (a.T == TDateTime || a.T == TDate || a.T == TTime) && b.T == TDayTimeDuration && (op == OpAdd || op == OpSub):
+		d := b.I
+		if op == OpSub {
+			d = -d
+		}
+		return Atomic{T: a.T, I: a.I + d}, true, nil
+	// dateTime/date ± yearMonthDuration
+	case (a.T == TDateTime || a.T == TDate) && b.T == TYearMonthDuration && (op == OpAdd || op == OpSub):
+		m := b.I
+		if op == OpSub {
+			m = -m
+		}
+		t := time.Unix(0, a.I).UTC().AddDate(0, int(m), 0)
+		return Atomic{T: a.T, I: t.UnixNano()}, true, nil
+	// dateTime - dateTime (same type) yields dayTimeDuration
+	case a.T == b.T && (a.T == TDateTime || a.T == TDate || a.T == TTime) && op == OpSub:
+		return NewDayTimeDuration(time.Duration(a.I - b.I)), true, nil
+	}
+	return Atomic{}, false, nil
+}
+
+// Negate applies unary minus to a numeric or duration value.
+func Negate(a Atomic) (Atomic, error) {
+	var err error
+	if a.T == TUntyped {
+		if a, err = Cast(a, TDouble); err != nil {
+			return Atomic{}, err
+		}
+	}
+	switch a.T {
+	case TInteger:
+		return NewInteger(-a.I), nil
+	case TDecimal:
+		if a.Dec {
+			return NewDecimal(-a.I, a.Scale), nil
+		}
+		return NewDecimalFloat(-a.F), nil
+	case TDouble:
+		return NewDouble(-a.F), nil
+	case TFloat:
+		return NewFloat(-a.F), nil
+	case TYearMonthDuration:
+		return NewYearMonthDuration(-a.I), nil
+	case TDayTimeDuration:
+		return NewDayTimeDuration(time.Duration(-a.I)), nil
+	}
+	return Atomic{}, ErrType("unary minus not defined for %s", a.T)
+}

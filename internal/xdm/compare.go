@@ -1,0 +1,238 @@
+package xdm
+
+import (
+	"math"
+	"strings"
+)
+
+// CompOp is a comparison operator shared by value and general comparisons.
+type CompOp uint8
+
+const (
+	OpEq CompOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var compOpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (op CompOp) String() string { return compOpNames[op] }
+
+// Negate returns the operator giving the complementary truth value. Note the
+// paper's warning that fn:not($x = $y) is NOT equivalent to $x != $y for
+// general comparisons (existential semantics) — Negate is only valid for
+// value comparisons on single items.
+func (op CompOp) Negate() CompOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	default:
+		return OpLt
+	}
+}
+
+// ValueCompare implements the value comparisons (eq, ne, lt, ...) between two
+// single atomic values. Untyped operands are treated as xs:string, per the
+// value-comparison rule. Returns a type error for incomparable types.
+func ValueCompare(op CompOp, a, b Atomic) (bool, error) {
+	if a.T == TUntyped {
+		a = NewString(a.S)
+	}
+	if b.T == TUntyped {
+		b = NewString(b.S)
+	}
+	return typedCompare(op, a, b)
+}
+
+// GeneralCompareItems applies the general-comparison casting rules to a pair
+// of atomized operands: untyped vs numeric casts untyped to xs:double;
+// untyped vs untyped/string compares as strings; untyped vs anything else
+// casts untyped to the other's type.
+func GeneralCompareItems(op CompOp, a, b Atomic) (bool, error) {
+	var err error
+	switch {
+	case a.T == TUntyped && b.T == TUntyped:
+		a, b = NewString(a.S), NewString(b.S)
+	case a.T == TUntyped:
+		a, err = castUntypedFor(a, b.T)
+		if err != nil {
+			return false, err
+		}
+	case b.T == TUntyped:
+		b, err = castUntypedFor(b, a.T)
+		if err != nil {
+			return false, err
+		}
+	}
+	return typedCompare(op, a, b)
+}
+
+func castUntypedFor(u Atomic, other TypeCode) (Atomic, error) {
+	switch {
+	case other.IsNumeric():
+		return Cast(u, TDouble)
+	case other == TString || other == TAnyURI:
+		return NewString(u.S), nil
+	default:
+		return Cast(u, other)
+	}
+}
+
+// typedCompare compares two typed atomic values with op.
+func typedCompare(op CompOp, a, b Atomic) (bool, error) {
+	if op != OpEq && op != OpNe && !supportsOrder(a.T) {
+		return false, ErrType("%s supports only eq/ne", a.T)
+	}
+	c, incomparable, err := orderCompare(a, b)
+	if err != nil {
+		return false, err
+	}
+	if incomparable { // NaN involved: all comparisons except ne are false
+		return op == OpNe, nil
+	}
+	switch op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	default:
+		return c >= 0, nil
+	}
+}
+
+// OrderCompare returns -1/0/+1 ordering two atomic values, for use by
+// order-by and fn:min/max/index-of. Incomparable pairs yield a type error;
+// NaN sorts as specified by the caller (this function reports NaN via the
+// bool result).
+func OrderCompare(a, b Atomic) (int, bool, error) { return orderCompare(a, b) }
+
+func orderCompare(a, b Atomic) (cmp int, nan bool, err error) {
+	// Numeric comparison with promotion.
+	if a.T.IsNumeric() && b.T.IsNumeric() {
+		// Exact integer/decimal fast paths.
+		if a.T == TInteger && b.T == TInteger {
+			return cmpI64(a.I, b.I), false, nil
+		}
+		fa, fb := a.AsFloat(), b.AsFloat()
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			return 0, true, nil
+		}
+		return cmpF64(fa, fb), false, nil
+	}
+	ta, tb := a.T, b.T
+	if ta == TAnyURI {
+		ta = TString
+	}
+	if tb == TAnyURI {
+		tb = TString
+	}
+	switch {
+	case ta == TString && tb == TString:
+		return strings.Compare(a.S, b.S), false, nil
+	case ta == TBoolean && tb == TBoolean:
+		switch {
+		case a.B == b.B:
+			return 0, false, nil
+		case !a.B:
+			return -1, false, nil
+		default:
+			return 1, false, nil
+		}
+	case ta == TQName && tb == TQName:
+		if a.Q.Equal(b.Q) {
+			return 0, false, nil
+		}
+		return 0, false, ErrType("xs:QName supports only eq/ne")
+	case ta.IsCalendar() && ta == tb:
+		return cmpI64(a.I, b.I), false, nil
+	case ta == TYearMonthDuration && tb == TYearMonthDuration:
+		return cmpI64(a.I, b.I), false, nil
+	case ta == TDayTimeDuration && tb == TDayTimeDuration:
+		return cmpI64(a.I, b.I), false, nil
+	case ta.IsDuration() && tb.IsDuration():
+		// Only equality is defined across general durations.
+		am, as := durParts(a)
+		bm, bs := durParts(b)
+		if am == bm && as == bs {
+			return 0, false, nil
+		}
+		return 0, false, ErrType("xs:duration supports only eq/ne")
+	case (ta == THexBinary && tb == THexBinary) || (ta == TBase64Binary && tb == TBase64Binary):
+		return strings.Compare(a.S, b.S), false, nil
+	}
+	return 0, false, ErrType("cannot compare %s with %s", a.T, b.T)
+}
+
+// supportsOrder reports whether a type admits the ordering operators
+// (lt/le/gt/ge); xs:QName, xs:NOTATION, the binary types and the generic
+// xs:duration admit only eq/ne.
+func supportsOrder(t TypeCode) bool {
+	switch t {
+	case TQName, TNotation, THexBinary, TBase64Binary, TDuration:
+		return false
+	}
+	return true
+}
+
+func durParts(a Atomic) (months int64, seconds float64) {
+	switch a.T {
+	case TYearMonthDuration:
+		return a.I, 0
+	case TDayTimeDuration:
+		return 0, float64(a.I) / 1e9
+	default:
+		return a.I, a.F
+	}
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DeepEqualAtomic implements fn:deep-equal's atomic rule: equal if eq is
+// true, plus NaN = NaN.
+func DeepEqualAtomic(a, b Atomic) bool {
+	if a.T.IsNumeric() && b.T.IsNumeric() {
+		fa, fb := a.AsFloat(), b.AsFloat()
+		if math.IsNaN(fa) && math.IsNaN(fb) {
+			return true
+		}
+	}
+	ok, err := GeneralCompareItems(OpEq, a, b)
+	return err == nil && ok
+}

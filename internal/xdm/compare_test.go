@@ -1,0 +1,185 @@
+package xdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperValueComparisons covers the "Value and general comparisons"
+// slide of the paper (adapted for atomized operands):
+//
+//	<a>42</a> eq "42"    true      (untyped vs string: string comparison)
+//	<a>42</a> = 42       true      (untyped vs numeric: cast to double)
+//	<a>baz</a> eq 42     error
+func TestPaperValueComparisons(t *testing.T) {
+	u42 := NewUntyped("42")
+
+	if ok, err := ValueCompare(OpEq, u42, NewString("42")); err != nil || !ok {
+		t.Errorf(`untyped "42" eq "42" = %v, %v; want true`, ok, err)
+	}
+	// Value comparison between untyped and integer treats untyped as a
+	// string — incomparable with a number.
+	if _, err := ValueCompare(OpEq, u42, NewInteger(42)); err == nil {
+		t.Error(`untyped "42" eq 42 should be a type error under value comparison`)
+	}
+	// General comparison casts untyped to double: true.
+	if ok, err := GeneralCompareItems(OpEq, u42, NewInteger(42)); err != nil || !ok {
+		t.Errorf(`untyped "42" = 42 under general comparison = %v, %v; want true`, ok, err)
+	}
+	if ok, err := GeneralCompareItems(OpEq, u42, NewDouble(42.0)); err != nil || !ok {
+		t.Errorf(`untyped "42" = 42.0 = %v, %v; want true`, ok, err)
+	}
+	// <a>baz</a> = 42: cast of "baz" to double fails -> type error.
+	if _, err := GeneralCompareItems(OpEq, NewUntyped("baz"), NewInteger(42)); err == nil {
+		t.Error(`untyped "baz" = 42 should raise an error`)
+	}
+	// untyped vs untyped compares as strings.
+	if ok, _ := GeneralCompareItems(OpEq, NewUntyped("007"), NewUntyped("7")); ok {
+		t.Error(`untyped "007" = untyped "7" compares as strings: false`)
+	}
+}
+
+func TestNumericComparisons(t *testing.T) {
+	cases := []struct {
+		op   CompOp
+		a, b Atomic
+		want bool
+	}{
+		{OpLt, NewInteger(1), NewInteger(2), true},
+		{OpLt, NewInteger(2), NewInteger(1), false},
+		{OpLe, NewInteger(2), NewInteger(2), true},
+		{OpGt, NewDouble(2.5), NewInteger(2), true},
+		{OpGe, NewDecimal(25, 1), NewDouble(2.5), true},
+		{OpNe, NewInteger(1), NewDouble(1), false},
+		{OpEq, NewDecimal(100, 2), NewInteger(1), true},
+		{OpEq, NewFloat(0.5), NewDouble(0.5), true},
+	}
+	for _, c := range cases {
+		got, err := ValueCompare(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("%v %v %v: %v", c.a.Lexical(), c.op, c.b.Lexical(), err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a.Lexical(), c.op, c.b.Lexical(), got, c.want)
+		}
+	}
+}
+
+func TestNaNComparisons(t *testing.T) {
+	nan := NewDouble(math.NaN())
+	for _, op := range []CompOp{OpEq, OpLt, OpLe, OpGt, OpGe} {
+		if ok, err := ValueCompare(op, nan, NewDouble(1)); err != nil || ok {
+			t.Errorf("NaN %v 1 = %v, %v; want false", op, ok, err)
+		}
+	}
+	if ok, err := ValueCompare(OpNe, nan, nan); err != nil || !ok {
+		t.Errorf("NaN ne NaN = %v, %v; want true", ok, err)
+	}
+}
+
+func TestStringAndBooleanComparisons(t *testing.T) {
+	if ok, _ := ValueCompare(OpLt, NewString("abc"), NewString("abd")); !ok {
+		t.Error(`"abc" lt "abd"`)
+	}
+	if ok, _ := ValueCompare(OpLt, False, True); !ok {
+		t.Error("false lt true")
+	}
+	if ok, _ := ValueCompare(OpEq, NewAnyURI("u"), NewString("u")); !ok {
+		t.Error("anyURI promotes to string for comparison")
+	}
+}
+
+func TestQNameComparison(t *testing.T) {
+	a := NewQName(Name("urn:x", "n"))
+	b := NewQName(QName{Space: "urn:x", Local: "n", Prefix: "other"})
+	if ok, err := ValueCompare(OpEq, a, b); err != nil || !ok {
+		t.Errorf("QName eq ignoring prefix = %v, %v", ok, err)
+	}
+	if _, err := ValueCompare(OpLt, a, b); err == nil {
+		t.Error("QName lt must be a type error")
+	}
+}
+
+func TestDurationComparisons(t *testing.T) {
+	if ok, _ := ValueCompare(OpLt, NewYearMonthDuration(11), NewYearMonthDuration(12)); !ok {
+		t.Error("P11M lt P1Y")
+	}
+	if ok, _ := ValueCompare(OpLt, NewDayTimeDuration(1e9), NewDayTimeDuration(2e9)); !ok {
+		t.Error("PT1S lt PT2S")
+	}
+	ym, _ := Cast(NewString("P12M"), TDuration)
+	ym2, _ := Cast(NewString("P1Y"), TDuration)
+	if ok, err := ValueCompare(OpEq, ym, ym2); err != nil || !ok {
+		t.Errorf("P12M eq P1Y as xs:duration = %v, %v", ok, err)
+	}
+	if _, err := ValueCompare(OpLt, ym, ym2); err == nil {
+		t.Error("xs:duration supports only eq/ne")
+	}
+}
+
+func TestIncomparable(t *testing.T) {
+	if _, err := ValueCompare(OpEq, NewInteger(1), True); err == nil {
+		t.Error("integer vs boolean must be a type error")
+	}
+	if _, err := ValueCompare(OpLt, NewString("a"), NewInteger(1)); err == nil {
+		t.Error("string vs integer must be a type error")
+	}
+}
+
+func TestNegateOp(t *testing.T) {
+	pairs := map[CompOp]CompOp{
+		OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpGe: OpLt, OpGt: OpLe, OpLe: OpGt,
+	}
+	for op, want := range pairs {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// Property: for comparable integers, exactly one of lt/eq/gt holds, and
+// Negate gives the complement.
+func TestComparisonTrichotomyQuick(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := NewInteger(int64(a)), NewInteger(int64(b))
+		lt, _ := ValueCompare(OpLt, x, y)
+		eq, _ := ValueCompare(OpEq, x, y)
+		gt, _ := ValueCompare(OpGt, x, y)
+		count := 0
+		for _, v := range []bool{lt, eq, gt} {
+			if v {
+				count++
+			}
+		}
+		ge, _ := ValueCompare(OpGe, x, y)
+		return count == 1 && ge == !lt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string value comparison agrees with Go string ordering.
+func TestStringCompareQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		lt, err := ValueCompare(OpLt, NewString(a), NewString(b))
+		return err == nil && lt == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepEqualAtomic(t *testing.T) {
+	if !DeepEqualAtomic(NewDouble(math.NaN()), NewDouble(math.NaN())) {
+		t.Error("deep-equal treats NaN = NaN")
+	}
+	if !DeepEqualAtomic(NewInteger(1), NewDouble(1)) {
+		t.Error("deep-equal promotes numerics")
+	}
+	if DeepEqualAtomic(NewString("a"), NewInteger(1)) {
+		t.Error("incomparable values are not deep-equal")
+	}
+}

@@ -1,0 +1,105 @@
+package xdm
+
+import (
+	"math"
+	"sort"
+)
+
+// Atomize extracts the typed value of an item ("fn:data"): nodes yield their
+// typed value, atomic values pass through.
+func Atomize(it Item) Atomic {
+	if n, ok := it.(Node); ok {
+		return n.TypedValue()
+	}
+	return it.(Atomic)
+}
+
+// AtomizeSequence atomizes every item of a materialized sequence.
+func AtomizeSequence(seq Sequence) []Atomic {
+	out := make([]Atomic, len(seq))
+	for i, it := range seq {
+		out[i] = Atomize(it)
+	}
+	return out
+}
+
+// EffectiveBoolean computes the Effective Boolean Value of a sequence per
+// the paper's rules: () is false; a sequence whose first item is a node is
+// true; a single boolean is itself; a single string/untyped/anyURI is true
+// iff non-empty; a single numeric is true unless 0 or NaN; anything else is
+// a type error.
+func EffectiveBoolean(seq Sequence) (bool, error) {
+	if len(seq) == 0 {
+		return false, nil
+	}
+	if seq[0].IsNode() {
+		return true, nil
+	}
+	if len(seq) > 1 {
+		return false, ErrType("effective boolean value of a sequence of %d atomic values", len(seq))
+	}
+	return EffectiveBooleanItem(seq[0])
+}
+
+// EffectiveBooleanItem computes the EBV of a single item.
+func EffectiveBooleanItem(it Item) (bool, error) {
+	if it.IsNode() {
+		return true, nil
+	}
+	a := it.(Atomic)
+	switch a.T {
+	case TBoolean:
+		return a.B, nil
+	case TString, TUntyped, TAnyURI:
+		return a.S != "", nil
+	case TInteger:
+		return a.I != 0, nil
+	case TDecimal, TDouble, TFloat:
+		f := a.AsFloat()
+		return f != 0 && !math.IsNaN(f), nil
+	default:
+		return false, ErrType("no effective boolean value for %s", a.T)
+	}
+}
+
+// SortDocOrderDedup sorts a sequence of nodes into document order and
+// removes duplicate nodes (by identity). This is the operation path
+// expressions require — and the one the optimizer works hard to elide.
+// Returns a type error if any item is not a node.
+func SortDocOrderDedup(seq Sequence) (Sequence, error) {
+	for _, it := range seq {
+		if !it.IsNode() {
+			return nil, ErrType("path/union operand contains a non-node item")
+		}
+	}
+	if len(seq) < 2 {
+		return seq, nil
+	}
+	sort.SliceStable(seq, func(i, j int) bool {
+		return CompareOrder(seq[i].(Node), seq[j].(Node)) < 0
+	})
+	out := seq[:1]
+	for _, it := range seq[1:] {
+		if CompareOrder(out[len(out)-1].(Node), it.(Node)) != 0 {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// Single returns the sole item of a sequence, or a type error if the
+// sequence is empty or has more than one item.
+func Single(seq Sequence) (Item, error) {
+	if len(seq) != 1 {
+		return nil, ErrType("expected a single item, got a sequence of %d", len(seq))
+	}
+	return seq[0], nil
+}
+
+// StringValue returns the fn:string() of an item.
+func StringValue(it Item) string {
+	if n, ok := it.(Node); ok {
+		return n.StringValue()
+	}
+	return it.(Atomic).Lexical()
+}

@@ -1,0 +1,64 @@
+package xdm
+
+import "strings"
+
+// QName is an expanded XML name: namespace URI plus local part. The prefix is
+// retained only for error messages and serialization; it does not participate
+// in equality, matching the XQuery rule that names compare by (URI, local).
+type QName struct {
+	Space  string // namespace URI; empty for no namespace
+	Local  string
+	Prefix string // original lexical prefix, informational only
+}
+
+// Name constructs a QName in a namespace.
+func Name(space, local string) QName { return QName{Space: space, Local: local} }
+
+// LocalName constructs a QName with no namespace.
+func LocalName(local string) QName { return QName{Local: local} }
+
+// Equal reports whether two names have the same URI and local part.
+func (q QName) Equal(o QName) bool { return q.Space == o.Space && q.Local == o.Local }
+
+// IsZero reports whether the name is entirely empty.
+func (q QName) IsZero() bool { return q.Space == "" && q.Local == "" }
+
+// String renders the name with its prefix if one was recorded, otherwise in
+// Clark notation "{uri}local" when a URI is present.
+func (q QName) String() string {
+	switch {
+	case q.Prefix != "":
+		return q.Prefix + ":" + q.Local
+	case q.Space != "":
+		return "{" + q.Space + "}" + q.Local
+	default:
+		return q.Local
+	}
+}
+
+// Clark renders the name in Clark notation, the canonical unambiguous form.
+func (q QName) Clark() string {
+	if q.Space == "" {
+		return q.Local
+	}
+	return "{" + q.Space + "}" + q.Local
+}
+
+// ParseClark parses Clark notation "{uri}local" or a bare local name.
+func ParseClark(s string) QName {
+	if strings.HasPrefix(s, "{") {
+		if i := strings.IndexByte(s, '}'); i >= 0 {
+			return QName{Space: s[1:i], Local: s[i+1:]}
+		}
+	}
+	return QName{Local: s}
+}
+
+// SplitLexical splits a lexical QName "p:local" into prefix and local part.
+// A name with no colon yields an empty prefix.
+func SplitLexical(s string) (prefix, local string) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return "", s
+}

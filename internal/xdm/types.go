@@ -1,0 +1,153 @@
+// Package xdm implements the XQuery 1.0 / XPath 2.0 Data Model (XDM): items,
+// atomic values with their XML Schema types, sequences, and the node
+// abstraction. It corresponds to the paper's "XML Data Model" layer: a data
+// model instance is a flat sequence of items, where each item is either a
+// node or an atomic value carrying its dynamic type.
+package xdm
+
+import "fmt"
+
+// TypeCode identifies an atomic type. The 19 primitive XML Schema atomic
+// types are present, plus xs:integer (the ubiquitous derived type),
+// xs:untypedAtomic (values of schema-less data), and xs:anyAtomicType as the
+// root of the atomic hierarchy.
+type TypeCode uint8
+
+const (
+	TUntyped TypeCode = iota // xs:untypedAtomic
+	TString
+	TBoolean
+	TDecimal
+	TInteger // derived from xs:decimal
+	TFloat
+	TDouble
+	TDuration
+	TYearMonthDuration // xdt:yearMonthDuration
+	TDayTimeDuration   // xdt:dayTimeDuration
+	TDateTime
+	TTime
+	TDate
+	TGYearMonth
+	TGYear
+	TGMonthDay
+	TGDay
+	TGMonth
+	THexBinary
+	TBase64Binary
+	TAnyURI
+	TQName
+	TNotation
+	TAnyAtomic // xs:anyAtomicType: matches every atomic value
+	numTypes
+)
+
+var typeNames = [numTypes]string{
+	TUntyped:           "xs:untypedAtomic",
+	TString:            "xs:string",
+	TBoolean:           "xs:boolean",
+	TDecimal:           "xs:decimal",
+	TInteger:           "xs:integer",
+	TFloat:             "xs:float",
+	TDouble:            "xs:double",
+	TDuration:          "xs:duration",
+	TYearMonthDuration: "xdt:yearMonthDuration",
+	TDayTimeDuration:   "xdt:dayTimeDuration",
+	TDateTime:          "xs:dateTime",
+	TTime:              "xs:time",
+	TDate:              "xs:date",
+	TGYearMonth:        "xs:gYearMonth",
+	TGYear:             "xs:gYear",
+	TGMonthDay:         "xs:gMonthDay",
+	TGDay:              "xs:gDay",
+	TGMonth:            "xs:gMonth",
+	THexBinary:         "xs:hexBinary",
+	TBase64Binary:      "xs:base64Binary",
+	TAnyURI:            "xs:anyURI",
+	TQName:             "xs:QName",
+	TNotation:          "xs:NOTATION",
+	TAnyAtomic:         "xs:anyAtomicType",
+}
+
+// String returns the conventional prefixed name of the type, e.g. "xs:integer".
+func (t TypeCode) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("xs:type(%d)", uint8(t))
+}
+
+// typesByName maps both "xs:integer" and bare "integer" spellings to codes.
+var typesByName = func() map[string]TypeCode {
+	m := make(map[string]TypeCode, 2*int(numTypes))
+	for t := TypeCode(0); t < numTypes; t++ {
+		name := typeNames[t]
+		m[name] = t
+		// Strip the "xs:" / "xdt:" prefix for unprefixed lookup.
+		for i := 0; i < len(name); i++ {
+			if name[i] == ':' {
+				m[name[i+1:]] = t
+				break
+			}
+		}
+	}
+	m["xdt:untypedAtomic"] = TUntyped
+	return m
+}()
+
+// TypeByName resolves a type name such as "xs:integer", "integer" or
+// "xdt:untypedAtomic". The second result reports whether the name is known.
+func TypeByName(name string) (TypeCode, bool) {
+	t, ok := typesByName[name]
+	return t, ok
+}
+
+// BaseType returns the primitive base of a derived atomic type
+// (xs:integer -> xs:decimal, the duration subtypes -> xs:duration);
+// primitive types return themselves.
+func (t TypeCode) BaseType() TypeCode {
+	switch t {
+	case TInteger:
+		return TDecimal
+	case TYearMonthDuration, TDayTimeDuration:
+		return TDuration
+	default:
+		return t
+	}
+}
+
+// IsNumeric reports whether t is one of the four numeric types.
+func (t TypeCode) IsNumeric() bool {
+	switch t {
+	case TDecimal, TInteger, TFloat, TDouble:
+		return true
+	}
+	return false
+}
+
+// IsDuration reports whether t is xs:duration or one of its subtypes.
+func (t TypeCode) IsDuration() bool {
+	switch t {
+	case TDuration, TYearMonthDuration, TDayTimeDuration:
+		return true
+	}
+	return false
+}
+
+// IsCalendar reports whether t is one of the date/time/gregorian types.
+func (t TypeCode) IsCalendar() bool {
+	switch t {
+	case TDateTime, TTime, TDate, TGYearMonth, TGYear, TGMonthDay, TGDay, TGMonth:
+		return true
+	}
+	return false
+}
+
+// Derives reports whether type t is (or derives from) type base, per the
+// atomic-type hierarchy. xs:anyAtomicType is the root; xs:untypedAtomic is a
+// leaf directly under it.
+func (t TypeCode) Derives(base TypeCode) bool {
+	if base == TAnyAtomic || t == base {
+		return true
+	}
+	return t.BaseType() == base
+}

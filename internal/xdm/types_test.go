@@ -1,0 +1,161 @@
+package xdm
+
+import "testing"
+
+func TestTypeByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want TypeCode
+		ok   bool
+	}{
+		{"xs:integer", TInteger, true},
+		{"integer", TInteger, true},
+		{"xs:string", TString, true},
+		{"xs:untypedAtomic", TUntyped, true},
+		{"xdt:untypedAtomic", TUntyped, true},
+		{"xdt:yearMonthDuration", TYearMonthDuration, true},
+		{"xdt:dayTimeDuration", TDayTimeDuration, true},
+		{"xs:anyAtomicType", TAnyAtomic, true},
+		{"xs:decimal", TDecimal, true},
+		{"xs:gYearMonth", TGYearMonth, true},
+		{"xs:NOTATION", TNotation, true},
+		{"nosuch", 0, false},
+		{"xs:nosuch", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := TypeByName(c.name)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TypeByName(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for tc := TypeCode(0); tc < numTypes; tc++ {
+		name := tc.String()
+		got, ok := TypeByName(name)
+		if !ok || got != tc {
+			t.Errorf("TypeByName(%q) = %v, %v; want %v", name, got, ok, tc)
+		}
+	}
+}
+
+func TestBaseType(t *testing.T) {
+	if TInteger.BaseType() != TDecimal {
+		t.Error("xs:integer should derive from xs:decimal")
+	}
+	if TYearMonthDuration.BaseType() != TDuration {
+		t.Error("yearMonthDuration should derive from xs:duration")
+	}
+	if TDayTimeDuration.BaseType() != TDuration {
+		t.Error("dayTimeDuration should derive from xs:duration")
+	}
+	if TString.BaseType() != TString {
+		t.Error("primitive types are their own base")
+	}
+}
+
+func TestDerives(t *testing.T) {
+	cases := []struct {
+		t, base TypeCode
+		want    bool
+	}{
+		{TInteger, TDecimal, true},
+		{TInteger, TInteger, true},
+		{TInteger, TAnyAtomic, true},
+		{TDecimal, TInteger, false},
+		{TString, TAnyAtomic, true},
+		{TUntyped, TAnyAtomic, true},
+		{TUntyped, TString, false},
+		{TYearMonthDuration, TDuration, true},
+		{TDuration, TYearMonthDuration, false},
+	}
+	for _, c := range cases {
+		if got := c.t.Derives(c.base); got != c.want {
+			t.Errorf("%v.Derives(%v) = %v, want %v", c.t, c.base, got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, tc := range []TypeCode{TDecimal, TInteger, TFloat, TDouble} {
+		if !tc.IsNumeric() {
+			t.Errorf("%v should be numeric", tc)
+		}
+	}
+	for _, tc := range []TypeCode{TString, TBoolean, TDate, TDuration} {
+		if tc.IsNumeric() {
+			t.Errorf("%v should not be numeric", tc)
+		}
+	}
+	for _, tc := range []TypeCode{TDuration, TYearMonthDuration, TDayTimeDuration} {
+		if !tc.IsDuration() {
+			t.Errorf("%v should be a duration", tc)
+		}
+	}
+	for _, tc := range []TypeCode{TDateTime, TTime, TDate, TGYear, TGMonth, TGDay, TGYearMonth, TGMonthDay} {
+		if !tc.IsCalendar() {
+			t.Errorf("%v should be calendar", tc)
+		}
+	}
+}
+
+func TestQName(t *testing.T) {
+	a := Name("urn:x", "local")
+	b := QName{Space: "urn:x", Local: "local", Prefix: "p"}
+	if !a.Equal(b) {
+		t.Error("QName equality must ignore the prefix")
+	}
+	if a.Equal(LocalName("local")) {
+		t.Error("different namespaces must not compare equal")
+	}
+	if got := b.String(); got != "p:local" {
+		t.Errorf("String with prefix = %q", got)
+	}
+	if got := a.String(); got != "{urn:x}local" {
+		t.Errorf("String without prefix = %q", got)
+	}
+	if got := LocalName("x").String(); got != "x" {
+		t.Errorf("local-only String = %q", got)
+	}
+	if a.Clark() != "{urn:x}local" {
+		t.Errorf("Clark = %q", a.Clark())
+	}
+	if got := ParseClark("{urn:x}local"); !got.Equal(a) {
+		t.Errorf("ParseClark roundtrip = %v", got)
+	}
+	if got := ParseClark("plain"); !got.Equal(LocalName("plain")) {
+		t.Errorf("ParseClark bare = %v", got)
+	}
+	if p, l := SplitLexical("ns:foo"); p != "ns" || l != "foo" {
+		t.Errorf("SplitLexical = %q, %q", p, l)
+	}
+	if p, l := SplitLexical("foo"); p != "" || l != "foo" {
+		t.Errorf("SplitLexical bare = %q, %q", p, l)
+	}
+	if !(QName{}).IsZero() {
+		t.Error("zero QName should be IsZero")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	err := ErrType("bad %s", "thing")
+	if err.Code != "XPTY0004" {
+		t.Errorf("ErrType code = %s", err.Code)
+	}
+	if got := err.Error(); got != "err:XPTY0004: bad thing" {
+		t.Errorf("Error() = %q", got)
+	}
+	if !IsCode(err, "XPTY0004") || IsCode(err, "FOAR0001") {
+		t.Error("IsCode mismatch")
+	}
+	if ErrDivZero().Code != "FOAR0001" {
+		t.Error("div-zero code")
+	}
+	if ErrCast("x").Code != "FORG0001" {
+		t.Error("cast code")
+	}
+	if ErrOverflow().Code != "FOAR0002" {
+		t.Error("overflow code")
+	}
+}

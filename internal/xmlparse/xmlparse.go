@@ -1,0 +1,144 @@
+// Package xmlparse parses well-formed XML into store documents. It uses the
+// standard library tokenizer (encoding/xml) for the lexical layer and builds
+// the array representation in a single pass, so parsing is itself a
+// streaming operation.
+package xmlparse
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xqgo/internal/store"
+	"xqgo/internal/xdm"
+)
+
+// Options configure parsing.
+type Options struct {
+	// URI is recorded as the document/base URI.
+	URI string
+	// PoolText enables text-value pooling in the store.
+	PoolText bool
+	// Names optionally shares a name pool across documents.
+	Names *store.NamePool
+	// StripWhitespace drops text nodes that consist only of XML whitespace
+	// and have element siblings ("ignorable whitespace"); off by default.
+	StripWhitespace bool
+}
+
+// Parse reads one XML document from r.
+func Parse(r io.Reader, opts Options) (*store.Document, error) {
+	b := store.NewBuilder(store.BuilderOptions{
+		PoolText: opts.PoolText,
+		Names:    opts.Names,
+		URI:      opts.URI,
+	})
+	b.StartDocument()
+
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	depth := 0
+	seenRoot := false
+	var pendingWS []string // whitespace-only runs, flushed if followed by non-ws
+
+	flushWS := func() {
+		for _, s := range pendingWS {
+			b.Text(s)
+		}
+		pendingWS = pendingWS[:0]
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlparse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 && seenRoot {
+				return nil, fmt.Errorf("xmlparse: multiple root elements")
+			}
+			seenRoot = true
+			if !opts.StripWhitespace {
+				flushWS()
+			} else {
+				pendingWS = pendingWS[:0]
+			}
+			b.StartElement(convName(t.Name))
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" {
+					b.NSDecl(a.Name.Local, a.Value)
+					continue
+				}
+				if a.Name.Space == "" && a.Name.Local == "xmlns" {
+					b.NSDecl("", a.Value)
+					continue
+				}
+				if err := b.Attr(convName(a.Name), a.Value); err != nil {
+					return nil, fmt.Errorf("xmlparse: %w", err)
+				}
+			}
+			depth++
+		case xml.EndElement:
+			if opts.StripWhitespace {
+				pendingWS = pendingWS[:0]
+			} else {
+				flushWS()
+			}
+			b.EndElement()
+			depth--
+		case xml.CharData:
+			if depth == 0 {
+				if strings.TrimSpace(string(t)) != "" {
+					return nil, fmt.Errorf("xmlparse: character data outside the root element")
+				}
+				continue
+			}
+			s := string(t)
+			if opts.StripWhitespace && strings.TrimSpace(s) == "" {
+				pendingWS = append(pendingWS, s)
+				continue
+			}
+			flushWS()
+			b.Text(s)
+		case xml.Comment:
+			if depth > 0 {
+				flushWS()
+				b.Comment(string(t))
+			}
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue // XML declaration
+			}
+			if depth > 0 {
+				flushWS()
+				b.PI(t.Target, string(t.Inst))
+			}
+		case xml.Directive:
+			// DOCTYPE etc.: accepted and dropped.
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("xmlparse: unexpected EOF inside element")
+	}
+	if !seenRoot {
+		return nil, fmt.Errorf("xmlparse: no root element")
+	}
+	return b.Done()
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string, opts Options) (*store.Document, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// convName converts an encoding/xml name (Space = resolved URI) to a QName.
+// encoding/xml loses the original prefix; the serializer re-derives one from
+// the namespace declarations.
+func convName(n xml.Name) xdm.QName {
+	return xdm.QName{Space: n.Space, Local: n.Local}
+}

@@ -1,0 +1,389 @@
+package xqparse
+
+import (
+	"strings"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+)
+
+// Direct XML constructors are scanned character-by-character: XML content
+// has its own lexical structure (tags, attribute value templates, enclosed
+// {..} expressions, CDATA, entity references), so when the parser sees "<"
+// where a primary expression is expected it drops to this raw mode, and
+// re-enters the token stream inside every enclosed expression.
+
+// rawAttr is an attribute collected before namespace resolution.
+type rawAttr struct {
+	lexical string
+	parts   []expr.Expr
+}
+
+// parseDirectElement is entered with the current token "<" (already
+// consumed from the lexer, whose cursor sits just past it).
+func (p *parser) parseDirectElement() (expr.Expr, error) {
+	if len(p.queue) != 0 {
+		return nil, p.errf("internal: lookahead before direct constructor")
+	}
+	e, err := p.parseDirectInner()
+	if err != nil {
+		return nil, err
+	}
+	// Resume token scanning after the constructor.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// skipXMLSpace skips XML whitespace in raw mode.
+func (l *lexer) skipXMLSpace() {
+	for {
+		switch l.peekRune() {
+		case ' ', '\t', '\n', '\r':
+			l.readRune()
+		default:
+			return
+		}
+	}
+}
+
+// rawQName reads a lexical QName at the cursor.
+func (l *lexer) rawQName() (string, error) {
+	if !isNameStart(l.peekRune()) {
+		return "", l.errf("expected a name in XML constructor")
+	}
+	name := l.scanNCName()
+	if l.peekRune() == ':' {
+		l.readRune()
+		if !isNameStart(l.peekRune()) {
+			return "", l.errf("expected a local name after %q:", name)
+		}
+		name += ":" + l.scanNCName()
+	}
+	return name, nil
+}
+
+// parseDirectInner parses an element whose "<" has been consumed.
+func (p *parser) parseDirectInner() (expr.Expr, error) {
+	l := p.lex
+	pos := expr.Pos{Line: l.line, Col: l.col}
+	tag, err := l.rawQName()
+	if err != nil {
+		return nil, err
+	}
+	p.pushNS()
+	defer p.popNS()
+
+	var nsBinds []expr.NSBinding
+	var attrs []rawAttr
+	selfClosing := false
+	for {
+		l.skipXMLSpace()
+		switch l.peekRune() {
+		case '/':
+			l.readRune()
+			if l.peekRune() != '>' {
+				return nil, l.errf("expected '>' after '/'")
+			}
+			l.readRune()
+			selfClosing = true
+		case '>':
+			l.readRune()
+		case -1:
+			return nil, l.errf("unterminated start tag <%s", tag)
+		default:
+			aname, err := l.rawQName()
+			if err != nil {
+				return nil, err
+			}
+			l.skipXMLSpace()
+			if l.peekRune() != '=' {
+				return nil, l.errf("expected '=' after attribute %s", aname)
+			}
+			l.readRune()
+			l.skipXMLSpace()
+			parts, err := p.parseAttrValue()
+			if err != nil {
+				return nil, err
+			}
+			if aname == "xmlns" || strings.HasPrefix(aname, "xmlns:") {
+				uri, ok := literalConcat(parts)
+				if !ok {
+					return nil, l.errf("namespace declaration %s must be a literal", aname)
+				}
+				prefix := strings.TrimPrefix(strings.TrimPrefix(aname, "xmlns"), ":")
+				p.bindNS(prefix, uri)
+				nsBinds = append(nsBinds, expr.NSBinding{Prefix: prefix, URI: uri})
+				continue
+			}
+			attrs = append(attrs, rawAttr{lexical: aname, parts: parts})
+			continue
+		}
+		break
+	}
+
+	name, err := p.resolveQName(tag, "elem")
+	if err != nil {
+		return nil, err
+	}
+	elem := &expr.ElemConstructor{Base: expr.Base{P: pos}, Name: name, NS: nsBinds}
+	for _, a := range attrs {
+		aq, err := p.resolveQName(a.lexical, "")
+		if err != nil {
+			return nil, err
+		}
+		elem.Attrs = append(elem.Attrs, expr.DirAttr{Name: aq, Parts: a.parts})
+	}
+	if selfClosing {
+		return elem, nil
+	}
+
+	content, err := p.parseElementContent(tag)
+	if err != nil {
+		return nil, err
+	}
+	elem.Content = content
+	return elem, nil
+}
+
+// literalConcat concatenates parts if they are all string literals.
+func literalConcat(parts []expr.Expr) (string, bool) {
+	var b strings.Builder
+	for _, pt := range parts {
+		lit, ok := pt.(*expr.Literal)
+		if !ok || lit.Val.T != xdm.TString {
+			return "", false
+		}
+		b.WriteString(lit.Val.S)
+	}
+	return b.String(), true
+}
+
+// parseAttrValue parses a quoted attribute value template into literal and
+// enclosed-expression parts.
+func (p *parser) parseAttrValue() ([]expr.Expr, error) {
+	l := p.lex
+	quote := l.peekRune()
+	if quote != '"' && quote != '\'' {
+		return nil, l.errf("expected a quoted attribute value")
+	}
+	l.readRune()
+	var parts []expr.Expr
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			parts = append(parts, expr.NewLiteral(expr.Pos{Line: l.line, Col: l.col},
+				xdm.NewString(text.String())))
+			text.Reset()
+		}
+	}
+	for {
+		r := l.readRune()
+		switch r {
+		case -1:
+			return nil, l.errf("unterminated attribute value")
+		case quote:
+			if l.peekRune() == quote { // doubled quote escape
+				l.readRune()
+				text.WriteRune(quote)
+				continue
+			}
+			flush()
+			if parts == nil {
+				parts = []expr.Expr{expr.NewLiteral(expr.Pos{Line: l.line, Col: l.col}, xdm.NewString(""))}
+			}
+			return parts, nil
+		case '&':
+			s, err := l.entityRef()
+			if err != nil {
+				return nil, err
+			}
+			text.WriteString(s)
+		case '{':
+			if l.peekRune() == '{' {
+				l.readRune()
+				text.WriteByte('{')
+				continue
+			}
+			flush()
+			e, err := p.enclosedExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		case '}':
+			if l.peekRune() == '}' {
+				l.readRune()
+				text.WriteByte('}')
+				continue
+			}
+			return nil, l.errf(`single "}" in attribute value (use "}}")`)
+		case '\n', '\t', '\r':
+			text.WriteByte(' ') // attribute value normalization
+		default:
+			text.WriteRune(r)
+		}
+	}
+}
+
+// enclosedExpr re-enters token mode to parse "{ Expr }" with the "{"
+// already consumed; on return the lexer cursor is just past "}".
+func (p *parser) enclosedExpr() (expr.Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tRBrace || len(p.queue) != 0 {
+		return nil, p.errf(`expected "}" to close the enclosed expression, found %s`, p.tok)
+	}
+	return e, nil
+}
+
+// parseElementContent parses element content up to and including the
+// matching end tag.
+func (p *parser) parseElementContent(tag string) ([]expr.Expr, error) {
+	l := p.lex
+	var content []expr.Expr
+	var text strings.Builder
+	sawEntity := false
+	flush := func() {
+		if text.Len() == 0 {
+			return
+		}
+		s := text.String()
+		text.Reset()
+		ent := sawEntity
+		sawEntity = false
+		// Boundary-space handling: whitespace-only literal runs are dropped
+		// unless "declare boundary-space preserve" (entity-born whitespace
+		// is always kept).
+		if !p.boundaryPres && !ent && strings.TrimSpace(s) == "" {
+			return
+		}
+		content = append(content, &expr.TextConstructor{
+			Base: expr.Base{P: expr.Pos{Line: l.line, Col: l.col}},
+			X:    expr.NewLiteral(expr.Pos{Line: l.line, Col: l.col}, xdm.NewString(s)),
+		})
+	}
+	for {
+		r := l.readRune()
+		switch r {
+		case -1:
+			return nil, l.errf("unterminated element <%s>", tag)
+		case '{':
+			if l.peekRune() == '{' {
+				l.readRune()
+				text.WriteByte('{')
+				continue
+			}
+			flush()
+			e, err := p.enclosedExpr()
+			if err != nil {
+				return nil, err
+			}
+			content = append(content, e)
+		case '}':
+			if l.peekRune() == '}' {
+				l.readRune()
+				text.WriteByte('}')
+				continue
+			}
+			return nil, l.errf(`single "}" in element content (use "}}")`)
+		case '&':
+			s, err := l.entityRef()
+			if err != nil {
+				return nil, err
+			}
+			text.WriteString(s)
+			sawEntity = true
+		case '<':
+			switch {
+			case l.peekRune() == '/':
+				flush()
+				l.readRune()
+				end, err := l.rawQName()
+				if err != nil {
+					return nil, err
+				}
+				if end != tag {
+					return nil, l.errf("end tag </%s> does not match <%s>", end, tag)
+				}
+				l.skipXMLSpace()
+				if l.peekRune() != '>' {
+					return nil, l.errf("expected '>' in end tag")
+				}
+				l.readRune()
+				return content, nil
+			case strings.HasPrefix(l.src[l.pos:], "!--"):
+				flush()
+				l.advanceBy(3)
+				idx := strings.Index(l.src[l.pos:], "-->")
+				if idx < 0 {
+					return nil, l.errf("unterminated comment")
+				}
+				comment := l.src[l.pos : l.pos+idx]
+				l.advanceBy(idx + 3)
+				content = append(content, &expr.CommentConstructor{
+					Base: expr.Base{P: expr.Pos{Line: l.line, Col: l.col}},
+					X:    expr.NewLiteral(expr.Pos{Line: l.line, Col: l.col}, xdm.NewString(comment)),
+				})
+			case strings.HasPrefix(l.src[l.pos:], "![CDATA["):
+				l.advanceBy(8)
+				idx := strings.Index(l.src[l.pos:], "]]>")
+				if idx < 0 {
+					return nil, l.errf("unterminated CDATA section")
+				}
+				text.WriteString(l.src[l.pos : l.pos+idx])
+				sawEntity = true // CDATA content is never boundary space
+				l.advanceBy(idx + 3)
+			case l.peekRune() == '?':
+				flush()
+				l.readRune()
+				target, err := l.rawQName()
+				if err != nil {
+					return nil, err
+				}
+				l.skipXMLSpace()
+				idx := strings.Index(l.src[l.pos:], "?>")
+				if idx < 0 {
+					return nil, l.errf("unterminated processing instruction")
+				}
+				data := l.src[l.pos : l.pos+idx]
+				l.advanceBy(idx + 2)
+				content = append(content, &expr.PIConstructor{
+					Base:   expr.Base{P: expr.Pos{Line: l.line, Col: l.col}},
+					Target: target,
+					X:      expr.NewLiteral(expr.Pos{Line: l.line, Col: l.col}, xdm.NewString(data)),
+				})
+			case isNameStart(l.peekRune()):
+				flush()
+				child, err := p.parseDirectInner()
+				if err != nil {
+					return nil, err
+				}
+				content = append(content, child)
+			default:
+				return nil, l.errf("unexpected '<' in element content")
+			}
+		default:
+			text.WriteRune(r)
+		}
+	}
+}
+
+// advanceBy moves the raw cursor n bytes forward, maintaining line/col.
+func (l *lexer) advanceBy(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos+i] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+	}
+	l.pos += n
+}

@@ -1,0 +1,826 @@
+package xqparse
+
+import (
+	"strings"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// dosStep builds the descendant-or-self::node() step that "//" abbreviates.
+func dosStep(pos expr.Pos) expr.Expr {
+	return &expr.Step{
+		Base: expr.Base{P: pos},
+		Axis: expr.AxisDescendantOrSelf,
+		Test: xtypes.NodeTest{Kind: xtypes.TestAnyKind},
+	}
+}
+
+// parsePath parses PathExpr: a leading "/", "//" or a relative path.
+func (p *parser) parsePath() (expr.Expr, error) {
+	pos := p.pos()
+	switch p.tok.kind {
+	case tSlash:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		root := &expr.Root{Base: expr.Base{P: pos}}
+		if !p.startsStep() {
+			return root, nil // "/" alone
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseRelative(&expr.Path{Base: expr.Base{P: pos}, L: root, R: step})
+	case tSlashSlash:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		root := &expr.Root{Base: expr.Base{P: pos}}
+		lhs := &expr.Path{Base: expr.Base{P: pos}, L: root, R: dosStep(pos)}
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseRelative(&expr.Path{Base: expr.Base{P: pos}, L: lhs, R: step})
+	}
+	if !p.startsStep() {
+		return nil, p.errf("expected an expression, found %s", p.tok)
+	}
+	first, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tSlash && p.tok.kind != tSlashSlash {
+		return first, nil
+	}
+	return p.parseRelative(first)
+}
+
+// parseRelative continues a path after lhs: (("/"|"//") Step)*.
+func (p *parser) parseRelative(lhs expr.Expr) (expr.Expr, error) {
+	for {
+		pos := p.pos()
+		switch p.tok.kind {
+		case tSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tSlashSlash:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			lhs = &expr.Path{Base: expr.Base{P: pos}, L: lhs, R: dosStep(pos)}
+		default:
+			return lhs, nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &expr.Path{Base: expr.Base{P: pos}, L: lhs, R: step}
+	}
+}
+
+// startsStep reports whether the current token can begin a step or primary.
+func (p *parser) startsStep() bool {
+	switch p.tok.kind {
+	case tName, tString, tInteger, tDecimal, tDouble, tDollar, tLParen,
+		tDot, tDotDot, tAt, tStar, tLt:
+		return true
+	}
+	return false
+}
+
+var axisByName = map[string]expr.Axis{
+	"child":              expr.AxisChild,
+	"descendant":         expr.AxisDescendant,
+	"descendant-or-self": expr.AxisDescendantOrSelf,
+	"self":               expr.AxisSelf,
+	"attribute":          expr.AxisAttribute,
+	"parent":             expr.AxisParent,
+	"ancestor":           expr.AxisAncestor,
+	"ancestor-or-self":   expr.AxisAncestorOrSelf,
+	"following-sibling":  expr.AxisFollowingSibling,
+	"preceding-sibling":  expr.AxisPrecedingSibling,
+}
+
+// unsupportedAxes are the optional XPath axes we reject explicitly.
+var unsupportedAxes = map[string]bool{"following": true, "preceding": true, "namespace": true}
+
+// parseStep parses one step expression (axis step or filter expression),
+// including its predicate list.
+func (p *parser) parseStep() (expr.Expr, error) {
+	pos := p.pos()
+	var base expr.Expr
+
+	switch p.tok.kind {
+	case tDotDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		base = &expr.Step{Base: expr.Base{P: pos}, Axis: expr.AxisParent,
+			Test: xtypes.NodeTest{Kind: xtypes.TestAnyKind}}
+	case tAt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		test, err := p.parseNodeTest(expr.AxisAttribute)
+		if err != nil {
+			return nil, err
+		}
+		base = &expr.Step{Base: expr.Base{P: pos}, Axis: expr.AxisAttribute, Test: test}
+	case tStar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		base = &expr.Step{Base: expr.Base{P: pos}, Axis: expr.AxisChild,
+			Test: xtypes.NodeTest{AnyName: true}}
+	case tName:
+		// axis::test?
+		if ax, ok := axisByName[p.tok.val]; ok {
+			if t, err := p.peek(1); err != nil {
+				return nil, err
+			} else if t.kind == tColonColon {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				test, err := p.parseNodeTest(ax)
+				if err != nil {
+					return nil, err
+				}
+				base = &expr.Step{Base: expr.Base{P: pos}, Axis: ax, Test: test}
+				break
+			}
+		}
+		if unsupportedAxes[p.tok.val] {
+			if t, err := p.peek(1); err != nil {
+				return nil, err
+			} else if t.kind == tColonColon {
+				return nil, p.errf("the %s axis is optional in the paper's list and not supported", p.tok.val)
+			}
+		}
+		// kind test or name test in child axis, or a primary (function call
+		// / keyword constructs are routed through parsePrimary).
+		if isKindTestName(p.tok.val) {
+			if t, err := p.peek(1); err != nil {
+				return nil, err
+			} else if t.kind == tLParen {
+				test, err := p.parseNodeTest(expr.AxisChild)
+				if err != nil {
+					return nil, err
+				}
+				base = &expr.Step{Base: expr.Base{P: pos}, Axis: expr.AxisChild, Test: test}
+				break
+			}
+		}
+		// function call / computed constructor?
+		prim, isPrim, err := p.tryParseNamePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if isPrim {
+			base = prim
+			break
+		}
+		// plain name test on the child axis
+		test, err := p.parseNodeTest(expr.AxisChild)
+		if err != nil {
+			return nil, err
+		}
+		base = &expr.Step{Base: expr.Base{P: pos}, Axis: expr.AxisChild, Test: test}
+	default:
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		base = prim
+	}
+
+	// predicate list
+	var preds []expr.Expr
+	for p.tok.kind == tLBracket {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRBracket, `"]"`); err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+	}
+	if len(preds) > 0 {
+		return &expr.Filter{Base: expr.Base{P: pos}, In: base, Preds: preds}, nil
+	}
+	return base, nil
+}
+
+func isKindTestName(s string) bool {
+	switch s {
+	case "node", "text", "comment", "processing-instruction",
+		"element", "attribute", "document-node":
+		return true
+	}
+	return false
+}
+
+// parseNodeTest parses a node test for the given axis.
+func (p *parser) parseNodeTest(axis expr.Axis) (xtypes.NodeTest, error) {
+	if p.tok.kind == tStar {
+		if err := p.advance(); err != nil {
+			return xtypes.NodeTest{}, err
+		}
+		return xtypes.NodeTest{AnyName: true}, nil
+	}
+	if p.tok.kind != tName {
+		return xtypes.NodeTest{}, p.errf("expected a node test, found %s", p.tok)
+	}
+	name := p.tok.val
+	// kind tests
+	if isKindTestName(name) {
+		if t, err := p.peek(1); err != nil {
+			return xtypes.NodeTest{}, err
+		} else if t.kind == tLParen {
+			return p.parseKindTest()
+		}
+	}
+	if err := p.advance(); err != nil {
+		return xtypes.NodeTest{}, err
+	}
+	switch {
+	case strings.HasSuffix(name, ":*"):
+		prefix := strings.TrimSuffix(name, ":*")
+		uri, ok := p.lookupNS(prefix)
+		if !ok {
+			return xtypes.NodeTest{}, p.errf("undeclared namespace prefix %q", prefix)
+		}
+		return xtypes.NodeTest{WildLocal: true, Name: xdm.QName{Space: uri, Prefix: prefix}}, nil
+	case strings.HasPrefix(name, "*:"):
+		return xtypes.NodeTest{WildSpace: true, Name: xdm.LocalName(strings.TrimPrefix(name, "*:"))}, nil
+	default:
+		kind := ""
+		if axis != expr.AxisAttribute {
+			kind = "elem" // default element namespace applies
+		}
+		q, err := p.resolveQName(name, kind)
+		if err != nil {
+			return xtypes.NodeTest{}, err
+		}
+		return xtypes.NodeTest{Name: q}, nil
+	}
+}
+
+// parseKindTest parses node()/text()/element(name)/... with the cursor at
+// the keyword.
+func (p *parser) parseKindTest() (xtypes.NodeTest, error) {
+	kw := p.tok.val
+	if err := p.advance(); err != nil {
+		return xtypes.NodeTest{}, err
+	}
+	if err := p.expect(tLParen, `"("`); err != nil {
+		return xtypes.NodeTest{}, err
+	}
+	t := xtypes.NodeTest{}
+	switch kw {
+	case "node":
+		t.Kind = xtypes.TestAnyKind
+	case "text":
+		t.Kind = xtypes.TestText
+	case "comment":
+		t.Kind = xtypes.TestComment
+	case "processing-instruction":
+		t.Kind = xtypes.TestPI
+		if p.tok.kind == tName || p.tok.kind == tString {
+			t.Name = xdm.LocalName(p.tok.val)
+			if err := p.advance(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+		} else {
+			t.AnyName = true
+		}
+	case "document-node":
+		t.Kind = xtypes.TestDoc
+		// Optional element(...) argument accepted and ignored.
+		if p.tok.kind == tName && p.tok.val == "element" {
+			if _, err := p.parseKindTest(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+		}
+	case "element", "attribute":
+		if kw == "element" {
+			t.Kind = xtypes.TestElement
+		} else {
+			t.Kind = xtypes.TestAttribute
+		}
+		switch p.tok.kind {
+		case tStar:
+			t.AnyName = true
+			if err := p.advance(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+		case tName:
+			kindNS := "elem"
+			if kw == "attribute" {
+				kindNS = ""
+			}
+			q, err := p.resolveQName(p.tok.val, kindNS)
+			if err != nil {
+				return xtypes.NodeTest{}, err
+			}
+			t.Name = q
+			if err := p.advance(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+		default:
+			t.AnyName = true
+		}
+		// Optional type annotation argument: parsed, then rejected since
+		// schema types are unsupported beyond built-ins.
+		if p.tok.kind == tComma {
+			if err := p.advance(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+			if p.tok.kind != tName {
+				return xtypes.NodeTest{}, p.errf("expected type name")
+			}
+			if err := p.advance(); err != nil {
+				return xtypes.NodeTest{}, err
+			}
+			if p.tok.kind == tQuestion {
+				if err := p.advance(); err != nil {
+					return xtypes.NodeTest{}, err
+				}
+			}
+		}
+	default:
+		return xtypes.NodeTest{}, p.errf("unknown kind test %q", kw)
+	}
+	if err := p.expect(tRParen, `")"`); err != nil {
+		return xtypes.NodeTest{}, err
+	}
+	return t, nil
+}
+
+// tryParseNamePrimary handles the constructs that begin with a name in a
+// step position: function calls and computed constructors. Returns
+// isPrim=false when the name should be treated as a child-axis name test.
+func (p *parser) tryParseNamePrimary() (expr.Expr, bool, error) {
+	name := p.tok.val
+	t1, err := p.peek(1)
+	if err != nil {
+		return nil, false, err
+	}
+	// computed constructors: element/attribute/text/comment/document/
+	// processing-instruction followed by a name or '{'
+	switch name {
+	case "element", "attribute":
+		if t1.kind == tLBrace {
+			e, err := p.parseComputedElemAttr(name, true)
+			return e, true, err
+		}
+		if t1.kind == tName {
+			if t2, err := p.peek(2); err != nil {
+				return nil, false, err
+			} else if t2.kind == tLBrace {
+				e, err := p.parseComputedElemAttr(name, false)
+				return e, true, err
+			}
+		}
+	case "text", "comment", "document":
+		if t1.kind == tLBrace {
+			e, err := p.parseComputedLeaf(name)
+			return e, true, err
+		}
+	case "processing-instruction":
+		if t1.kind == tName {
+			if t2, err := p.peek(2); err != nil {
+				return nil, false, err
+			} else if t2.kind == tLBrace {
+				e, err := p.parseComputedPI()
+				return e, true, err
+			}
+		}
+	case "ordered", "unordered":
+		if t1.kind == tLBrace {
+			pos := p.pos()
+			unordered := name == "unordered"
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+			if err := p.advance(); err != nil { // '{'
+				return nil, false, err
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, false, err
+			}
+			if err := p.expect(tRBrace, `"}"`); err != nil {
+				return nil, false, err
+			}
+			if unordered {
+				return &expr.Call{Base: expr.Base{P: pos},
+					Name: xdm.QName{Space: NSFn, Local: "unordered", Prefix: "fn"},
+					Args: []expr.Expr{inner}}, true, nil
+			}
+			return inner, true, nil
+		}
+	}
+	// function call
+	if t1.kind == tLParen && !reservedFuncNames[name] {
+		pos := p.pos()
+		fname, err := p.resolveQName(name, "func")
+		if err != nil {
+			return nil, false, err
+		}
+		if err := p.advance(); err != nil {
+			return nil, false, err
+		}
+		if err := p.advance(); err != nil { // '('
+			return nil, false, err
+		}
+		var args []expr.Expr
+		for p.tok.kind != tRParen {
+			if len(args) > 0 {
+				if err := p.expect(tComma, `","`); err != nil {
+					return nil, false, err
+				}
+			}
+			a, err := p.parseExprSingle()
+			if err != nil {
+				return nil, false, err
+			}
+			args = append(args, a)
+		}
+		if err := p.advance(); err != nil { // ')'
+			return nil, false, err
+		}
+		return &expr.Call{Base: expr.Base{P: pos}, Name: fname, Args: args}, true, nil
+	}
+	return nil, false, nil
+}
+
+// parseComputedElemAttr parses element/attribute computed constructors.
+func (p *parser) parseComputedElemAttr(kw string, computedName bool) (expr.Expr, error) {
+	pos := p.pos()
+	if err := p.advance(); err != nil { // kw
+		return nil, err
+	}
+	var name xdm.QName
+	var nameExpr expr.Expr
+	if computedName {
+		if err := p.advance(); err != nil { // '{'
+			return nil, err
+		}
+		ne, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRBrace, `"}"`); err != nil {
+			return nil, err
+		}
+		nameExpr = ne
+	} else {
+		kindNS := ""
+		if kw == "element" {
+			kindNS = "elem"
+		}
+		q, err := p.resolveQName(p.tok.val, kindNS)
+		if err != nil {
+			return nil, err
+		}
+		name = q
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tLBrace, `"{"`); err != nil {
+		return nil, err
+	}
+	var content expr.Expr
+	if p.tok.kind != tRBrace {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		content = c
+	}
+	if err := p.expect(tRBrace, `"}"`); err != nil {
+		return nil, err
+	}
+	if kw == "attribute" {
+		a := &expr.AttrConstructor{Base: expr.Base{P: pos}, Name: name, NameExpr: nameExpr}
+		if content != nil {
+			a.Value = []expr.Expr{content}
+		}
+		return a, nil
+	}
+	e := &expr.ElemConstructor{Base: expr.Base{P: pos}, Name: name, NameExpr: nameExpr}
+	if content != nil {
+		e.Content = []expr.Expr{content}
+	}
+	return e, nil
+}
+
+// parseComputedLeaf parses text{}/comment{}/document{}.
+func (p *parser) parseComputedLeaf(kw string) (expr.Expr, error) {
+	pos := p.pos()
+	if err := p.advance(); err != nil { // kw
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // '{'
+		return nil, err
+	}
+	var content expr.Expr
+	if p.tok.kind != tRBrace {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		content = c
+	}
+	if err := p.expect(tRBrace, `"}"`); err != nil {
+		return nil, err
+	}
+	if content == nil {
+		content = &expr.Seq{Base: expr.Base{P: pos}}
+	}
+	switch kw {
+	case "text":
+		return &expr.TextConstructor{Base: expr.Base{P: pos}, X: content}, nil
+	case "comment":
+		return &expr.CommentConstructor{Base: expr.Base{P: pos}, X: content}, nil
+	default:
+		return &expr.DocConstructor{Base: expr.Base{P: pos}, X: content}, nil
+	}
+}
+
+func (p *parser) parseComputedPI() (expr.Expr, error) {
+	pos := p.pos()
+	if err := p.advance(); err != nil { // kw
+		return nil, err
+	}
+	target := p.tok.val
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tLBrace, `"{"`); err != nil {
+		return nil, err
+	}
+	var content expr.Expr = &expr.Seq{Base: expr.Base{P: pos}}
+	if p.tok.kind != tRBrace {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		content = c
+	}
+	if err := p.expect(tRBrace, `"}"`); err != nil {
+		return nil, err
+	}
+	return &expr.PIConstructor{Base: expr.Base{P: pos}, Target: target, X: content}, nil
+}
+
+// parsePrimary parses primaries that do not begin with a name.
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	pos := p.pos()
+	switch p.tok.kind {
+	case tString:
+		v := xdm.NewString(p.tok.val)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.NewLiteral(pos, v), nil
+	case tInteger:
+		a, err := xdm.ParseNumericLexical(p.tok.val, xdm.TInteger)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.val)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.NewLiteral(pos, a), nil
+	case tDecimal:
+		a, err := xdm.ParseDecimal(p.tok.val)
+		if err != nil {
+			return nil, p.errf("bad decimal literal %q", p.tok.val)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.NewLiteral(pos, a), nil
+	case tDouble:
+		a, err := xdm.ParseNumericLexical(p.tok.val, xdm.TDouble)
+		if err != nil {
+			return nil, p.errf("bad double literal %q", p.tok.val)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.NewLiteral(pos, a), nil
+	case tDollar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tName {
+			return nil, p.errf("expected variable name after $")
+		}
+		q, err := p.resolveQName(p.tok.val, "")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &expr.VarRef{Base: expr.Base{P: pos}, Name: q}, nil
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tRParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &expr.Seq{Base: expr.Base{P: pos}}, nil // empty sequence
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &expr.ContextItem{Base: expr.Base{P: pos}}, nil
+	case tLt:
+		return p.parseDirectElement()
+	}
+	return nil, p.errf("expected an expression, found %s", p.tok)
+}
+
+// ---- sequence types ----
+
+// parseSequenceType parses SequenceType.
+func (p *parser) parseSequenceType() (xtypes.SequenceType, error) {
+	if p.tok.kind != tName {
+		return xtypes.SequenceType{}, p.errf("expected a sequence type, found %s", p.tok)
+	}
+	name := p.tok.val
+	if name == "empty-sequence" || name == "empty" {
+		if t, err := p.peek(1); err != nil {
+			return xtypes.SequenceType{}, err
+		} else if t.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return xtypes.SequenceType{}, err
+			}
+			if err := p.advance(); err != nil {
+				return xtypes.SequenceType{}, err
+			}
+			if err := p.expect(tRParen, `")"`); err != nil {
+				return xtypes.SequenceType{}, err
+			}
+			return xtypes.Empty, nil
+		}
+	}
+	item, err := p.parseItemType()
+	if err != nil {
+		return xtypes.SequenceType{}, err
+	}
+	st := xtypes.SequenceType{Occ: xtypes.OccOne, Item: item}
+	switch p.tok.kind {
+	case tQuestion:
+		st.Occ = xtypes.OccOpt
+		if err := p.advance(); err != nil {
+			return xtypes.SequenceType{}, err
+		}
+	case tStar:
+		st.Occ = xtypes.OccStar
+		if err := p.advance(); err != nil {
+			return xtypes.SequenceType{}, err
+		}
+	case tPlus:
+		st.Occ = xtypes.OccPlus
+		if err := p.advance(); err != nil {
+			return xtypes.SequenceType{}, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseItemType() (xtypes.ItemType, error) {
+	name := p.tok.val
+	if name == "item" {
+		if t, err := p.peek(1); err != nil {
+			return xtypes.ItemType{}, err
+		} else if t.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return xtypes.ItemType{}, err
+			}
+			if err := p.advance(); err != nil {
+				return xtypes.ItemType{}, err
+			}
+			if err := p.expect(tRParen, `")"`); err != nil {
+				return xtypes.ItemType{}, err
+			}
+			return xtypes.ItemType{Kind: xtypes.KAnyItem}, nil
+		}
+	}
+	if isKindTestName(name) {
+		if t, err := p.peek(1); err != nil {
+			return xtypes.ItemType{}, err
+		} else if t.kind == tLParen {
+			nt, err := p.parseKindTest()
+			if err != nil {
+				return xtypes.ItemType{}, err
+			}
+			return nodeTestToItemType(nt), nil
+		}
+	}
+	// atomic type
+	tc, err := p.resolveTypeName(name)
+	if err != nil {
+		return xtypes.ItemType{}, err
+	}
+	if err := p.advance(); err != nil {
+		return xtypes.ItemType{}, err
+	}
+	return xtypes.ItemType{Kind: xtypes.KAtomic, Type: tc}, nil
+}
+
+// parseSingleType parses SingleType for cast/castable: AtomicType "?"?.
+func (p *parser) parseSingleType() (xdm.TypeCode, bool, error) {
+	if p.tok.kind != tName {
+		return 0, false, p.errf("expected an atomic type name")
+	}
+	tc, err := p.resolveTypeName(p.tok.val)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := p.advance(); err != nil {
+		return 0, false, err
+	}
+	opt := false
+	if p.tok.kind == tQuestion {
+		opt = true
+		if err := p.advance(); err != nil {
+			return 0, false, err
+		}
+	}
+	return tc, opt, nil
+}
+
+// resolveTypeName maps a lexical type QName to a built-in atomic type code.
+func (p *parser) resolveTypeName(lexical string) (xdm.TypeCode, error) {
+	prefix, local := xdm.SplitLexical(lexical)
+	if prefix != "" {
+		uri, ok := p.lookupNS(prefix)
+		if !ok {
+			return 0, p.errf("undeclared namespace prefix %q", prefix)
+		}
+		switch uri {
+		case NSXS:
+			lexical = "xs:" + local
+		case NSXDT:
+			lexical = "xdt:" + local
+		default:
+			return 0, p.errf("unknown type %q (user-defined schema types are not supported)", lexical)
+		}
+	}
+	tc, ok := xdm.TypeByName(lexical)
+	if !ok {
+		return 0, p.errf("unknown atomic type %q", lexical)
+	}
+	return tc, nil
+}
+
+func nodeTestToItemType(nt xtypes.NodeTest) xtypes.ItemType {
+	it := xtypes.ItemType{Name: nt.Name, AnyName: nt.AnyName}
+	switch nt.Kind {
+	case xtypes.TestAnyKind:
+		it.Kind = xtypes.KAnyNode
+	case xtypes.TestDoc:
+		it.Kind = xtypes.KDocument
+	case xtypes.TestElement:
+		it.Kind = xtypes.KElement
+	case xtypes.TestAttribute:
+		it.Kind = xtypes.KAttribute
+	case xtypes.TestText:
+		it.Kind = xtypes.KText
+	case xtypes.TestComment:
+		it.Kind = xtypes.KComment
+	case xtypes.TestPI:
+		it.Kind = xtypes.KPI
+	}
+	return it
+}

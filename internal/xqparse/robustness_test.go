@@ -1,0 +1,75 @@
+package xqparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds mutated query fragments to the parser: every
+// input must either parse or return a positioned error — never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`for $x in /a/b return <r>{$x}</r>`,
+		`let $y := (1,2,3) return count($y)`,
+		`<a b="{1+2}">text{$v}</a>`,
+		`some $x in (1 to 10) satisfies $x eq 5`,
+		`declare function local:f($n) { $n * 2 }; local:f(3)`,
+		`typeswitch ($x) case xs:integer return 1 default return 2`,
+		`1 + 2 * (3 - 4) div 5`,
+		`//book[@year < 2000]/title/text()`,
+	}
+	mutate := func(s string, pos, op uint8) string {
+		if len(s) == 0 {
+			return s
+		}
+		i := int(pos) % len(s)
+		chars := []byte(`<>{}()[]"'$/:*@,;=`)
+		switch op % 4 {
+		case 0: // delete a byte
+			return s[:i] + s[i+1:]
+		case 1: // insert a metacharacter
+			return s[:i] + string(chars[int(op)%len(chars)]) + s[i:]
+		case 2: // replace a byte
+			return s[:i] + string(chars[int(pos)%len(chars)]) + s[i+1:]
+		default: // truncate
+			return s[:i]
+		}
+	}
+	f := func(seedIdx, pos1, op1, pos2, op2 uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := seeds[int(seedIdx)%len(seeds)]
+		src = mutate(src, pos1, op1)
+		src = mutate(src, pos2, op2)
+		_, _ = Parse(src) // must not panic; errors are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("parser panicked: %v", err)
+	}
+}
+
+// TestLexerNeverPanics runs the raw lexer over arbitrary byte strings.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		l := newLexer(src)
+		for i := 0; i < 10000; i++ {
+			tok, err := l.next()
+			if err != nil || tok.kind == tEOF {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("lexer panicked: %v", err)
+	}
+}

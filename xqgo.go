@@ -1,0 +1,363 @@
+// Package xqgo is a streaming XQuery processor: a Go reproduction of the
+// XQRL/BEA architecture described in "XML Query Processing" (ICDE 2004) —
+// expression-tree compilation, a rewriting-rule optimizer, and a lazy
+// pull-based iterator runtime over an array document store, plus the
+// structural-join/labeling machinery of the same era (see DESIGN.md).
+//
+// Quick start:
+//
+//	doc, _ := xqgo.ParseString(`<bib><book year="1994"><title>TCP/IP</title></book></bib>`, "bib.xml")
+//	q, _ := xqgo.Compile(`for $b in /bib/book where $b/@year = 1994 return $b/title`, nil)
+//	out, _ := q.EvalString(xqgo.NewContext().WithContextNode(doc))
+package xqgo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/optimizer"
+	"xqgo/internal/runtime"
+	"xqgo/internal/serializer"
+	"xqgo/internal/store"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xmlparse"
+	"xqgo/internal/xqparse"
+)
+
+// Re-exported data-model types: results are sequences of items, each a node
+// or an atomic value.
+type (
+	// Item is one member of a result sequence.
+	Item = xdm.Item
+	// Sequence is a materialized result sequence.
+	Sequence = xdm.Sequence
+	// Node is the data-model node interface.
+	Node = xdm.Node
+	// Atomic is an atomic value with its dynamic type.
+	Atomic = xdm.Atomic
+)
+
+// EngineKind selects the evaluation engine.
+type EngineKind int
+
+const (
+	// Streaming is the lazy pull-based iterator engine (the paper's
+	// processor). Default.
+	Streaming EngineKind = iota
+	// Eager is the fully-materializing baseline engine used as the
+	// comparator in the experiments.
+	Eager
+)
+
+// Options configure compilation.
+type Options struct {
+	// Engine selects streaming (default) or the eager baseline.
+	Engine EngineKind
+	// NoOptimize disables the rewriting optimizer entirely.
+	NoOptimize bool
+	// DisableRules turns off individual optimizer rules by name (see
+	// the optimizer rule constants re-exported below).
+	DisableRules []string
+	// UseStructuralJoins evaluates descendant-axis path chains (//a//b)
+	// with stack-tree structural joins over a lazily built per-document
+	// name index instead of navigation — the index-based processing mode.
+	UseStructuralJoins bool
+	// MemoizeFunctions caches calls to pure user functions within one
+	// execution (intra-query memoization).
+	MemoizeFunctions bool
+	// Parallel evaluates independent heavy branches of comma sequences
+	// concurrently (horizontal parallelization). Opt-in: error timing may
+	// change (XQuery's non-determinism permits this).
+	Parallel bool
+}
+
+// Optimizer rule names for Options.DisableRules (experiment E10 ablations).
+const (
+	RuleConstFold   = optimizer.RuleConstFold
+	RuleLetFold     = optimizer.RuleLetFold
+	RuleFnInline    = optimizer.RuleFnInline
+	RuleFlworUnnest = optimizer.RuleFlworUnnest
+	RuleForMin      = optimizer.RuleForMin
+	RuleCSE         = optimizer.RuleCSE
+	RulePathOrder   = optimizer.RulePathOrder
+	RuleTypeRewrite = optimizer.RuleTypeRewrite
+	RuleParentElim  = optimizer.RuleParentElim
+	RuleNoNodeIDs   = optimizer.RuleNoNodeIDs
+)
+
+// Query is a compiled, optimized, executable query.
+type Query struct {
+	prepared *runtime.Prepared
+	plan     *expr.Query
+}
+
+// Compile parses, optimizes and compiles an XQuery source text.
+func Compile(src string, opts *Options) (*Query, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoOptimize {
+		oo := optimizer.Options{}
+		if len(opts.DisableRules) > 0 {
+			oo = optimizer.Disable(opts.DisableRules...)
+		}
+		q = optimizer.Optimize(q, oo)
+	}
+	prepared, err := runtime.Compile(q, runtime.Options{
+		Eager:              opts.Engine == Eager,
+		UseStructuralJoins: opts.UseStructuralJoins,
+		MemoizeFunctions:   opts.MemoizeFunctions,
+		Parallel:           opts.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Query{prepared: prepared, plan: q}, nil
+}
+
+// MustCompile is Compile that panics on error (for tests and examples).
+func MustCompile(src string, opts *Options) *Query {
+	q, err := Compile(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Plan renders the optimized expression tree (diagnostics).
+func (q *Query) Plan() string { return expr.String(q.plan.Body) }
+
+// Document is a parsed XML document.
+type Document struct {
+	doc *store.Document
+}
+
+// Root returns the document node.
+func (d *Document) Root() Node { return d.doc.RootNode() }
+
+// NumNodes returns the number of stored nodes.
+func (d *Document) NumNodes() int { return d.doc.NumNodes() }
+
+// Store exposes the underlying array store (advanced use: structural joins,
+// token scans).
+func (d *Document) Store() *store.Document { return d.doc }
+
+// FromStore wraps an internal store document (used by the workload
+// generators, tools and benchmarks).
+func FromStore(d *store.Document) *Document { return &Document{doc: d} }
+
+// ParseOptions configure document parsing.
+type ParseOptions struct {
+	// StripWhitespace drops whitespace-only text nodes.
+	StripWhitespace bool
+	// PoolText deduplicates repeated text values (dictionary pooling).
+	PoolText bool
+}
+
+// Parse reads an XML document.
+func Parse(r io.Reader, uri string) (*Document, error) {
+	return ParseWith(r, uri, ParseOptions{})
+}
+
+// ParseWith reads an XML document with options.
+func ParseWith(r io.Reader, uri string, po ParseOptions) (*Document, error) {
+	doc, err := xmlparse.Parse(r, xmlparse.Options{
+		URI:             uri,
+		StripWhitespace: po.StripWhitespace,
+		PoolText:        po.PoolText,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{doc: doc}, nil
+}
+
+// ParseString parses a document held in a string.
+func ParseString(src, uri string) (*Document, error) {
+	doc, err := xmlparse.ParseString(src, xmlparse.Options{URI: uri})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{doc: doc}, nil
+}
+
+// MustParseString is ParseString that panics on error.
+func MustParseString(src, uri string) *Document {
+	d, err := ParseString(src, uri)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Context is the dynamic evaluation context: external variables, available
+// documents, the initial context item.
+type Context struct {
+	dyn *runtime.Dynamic
+	reg *runtime.DocRegistry
+}
+
+// NewContext creates an empty context with an in-memory document registry
+// (no filesystem access; use RegisterFile/AllowFilesystem for files).
+func NewContext() *Context {
+	reg := runtime.NewDocRegistry(false)
+	return &Context{
+		dyn: &runtime.Dynamic{Resolver: reg, Vars: map[string]xdm.Sequence{}},
+		reg: reg,
+	}
+}
+
+// AllowFilesystem lets fn:doc() read unregistered URIs from disk.
+func (c *Context) AllowFilesystem() *Context {
+	c.reg = runtime.NewDocRegistry(true)
+	c.dyn.Resolver = c.reg
+	return c
+}
+
+// RegisterDocument makes a document available to fn:doc(uri)/document(uri).
+func (c *Context) RegisterDocument(uri string, d *Document) *Context {
+	c.reg.Register(uri, d.Root())
+	return c
+}
+
+// RegisterCollection makes a sequence available to fn:collection(uri).
+func (c *Context) RegisterCollection(uri string, seq Sequence) *Context {
+	if c.dyn.Collections == nil {
+		c.dyn.Collections = map[string]xdm.Sequence{}
+	}
+	c.dyn.Collections[uri] = seq
+	return c
+}
+
+// WithContextNode sets the initial context item to the document root.
+func (c *Context) WithContextNode(d *Document) *Context {
+	c.dyn.ContextItem = d.Root()
+	return c
+}
+
+// WithContextItem sets the initial context item.
+func (c *Context) WithContextItem(it Item) *Context {
+	c.dyn.ContextItem = it
+	return c
+}
+
+// WithNow pins fn:current-dateTime() (for reproducible tests).
+func (c *Context) WithNow(t time.Time) *Context {
+	c.dyn.Now = t
+	return c
+}
+
+// Bind binds an external variable (declared "external" in the prolog). The
+// value is converted from a Go value: string, bool, int/int64, float64,
+// time.Time, Node, Item, Sequence, or a slice of those.
+func (c *Context) Bind(name string, value any) *Context {
+	seq, err := ToSequence(value)
+	if err != nil {
+		panic(fmt.Sprintf("xqgo: Bind(%s): %v", name, err))
+	}
+	c.dyn.Vars[xdm.ParseClark(name).Clark()] = seq
+	return c
+}
+
+// ToSequence converts a Go value to an XDM sequence.
+func ToSequence(value any) (Sequence, error) {
+	switch v := value.(type) {
+	case nil:
+		return nil, nil
+	case Sequence:
+		return v, nil
+	case Item:
+		return Sequence{v}, nil
+	case *Document:
+		return Sequence{v.Root()}, nil
+	case string:
+		return Sequence{xdm.NewString(v)}, nil
+	case bool:
+		return Sequence{xdm.NewBoolean(v)}, nil
+	case int:
+		return Sequence{xdm.NewInteger(int64(v))}, nil
+	case int64:
+		return Sequence{xdm.NewInteger(v)}, nil
+	case float64:
+		return Sequence{xdm.NewDouble(v)}, nil
+	case time.Time:
+		return Sequence{xdm.NewDateTime(v, "")}, nil
+	case []string:
+		out := make(Sequence, len(v))
+		for i, s := range v {
+			out[i] = xdm.NewString(s)
+		}
+		return out, nil
+	case []int:
+		out := make(Sequence, len(v))
+		for i, x := range v {
+			out[i] = xdm.NewInteger(int64(x))
+		}
+		return out, nil
+	case []any:
+		var out Sequence
+		for _, x := range v {
+			s, err := ToSequence(x)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("cannot convert %T to an XDM sequence", value)
+}
+
+// Eval executes the query, materializing the result.
+func (q *Query) Eval(ctx *Context) (Sequence, error) {
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	return q.prepared.Eval(ctx.dyn)
+}
+
+// EvalString executes and serializes the result to XML text.
+func (q *Query) EvalString(ctx *Context) (string, error) {
+	seq, err := q.Eval(ctx)
+	if err != nil {
+		return "", err
+	}
+	return serializer.SequenceToString(seq)
+}
+
+// Execute streams the serialized result to w — the paper's minimal
+// time-to-first-answer path: output is produced before the input is fully
+// consumed, and node-id-free constructed trees are token-piped without
+// materialization.
+func (q *Query) Execute(ctx *Context, w io.Writer) error {
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	return q.prepared.ExecuteToWriter(ctx.dyn, w)
+}
+
+// Iterator returns a lazy result iterator; Next returns (item, ok, error).
+func (q *Query) Iterator(ctx *Context) (ResultIter, error) {
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	return q.prepared.Iterator(ctx.dyn)
+}
+
+// ResultIter is the pull interface over a query result.
+type ResultIter = runtime.Iter
+
+// ItemString renders a single item as text (fn:string semantics for
+// atomics, XML serialization for nodes).
+func ItemString(it Item) (string, error) {
+	if n, ok := it.(Node); ok {
+		return serializer.NodeToString(n)
+	}
+	return it.(Atomic).Lexical(), nil
+}
