@@ -1,0 +1,162 @@
+package xqgo_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xqgo"
+)
+
+func TestToSequenceKinds(t *testing.T) {
+	now := time.Date(2004, 3, 2, 10, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		in    any
+		want  []string // lexical forms
+		fails bool
+	}{
+		{name: "nil", in: nil, want: nil},
+		{name: "string", in: "hi", want: []string{"hi"}},
+		{name: "bool", in: true, want: []string{"true"}},
+		{name: "int", in: 42, want: []string{"42"}},
+		{name: "int64", in: int64(-7), want: []string{"-7"}},
+		{name: "float64", in: 2.5, want: []string{"2.5"}},
+		{name: "time", in: now, want: []string{"2004-03-02T10:00:00"}},
+		{name: "[]string", in: []string{"a", "b"}, want: []string{"a", "b"}},
+		{name: "[]int", in: []int{1, 2}, want: []string{"1", "2"}},
+		{name: "[]int64", in: []int64{3, 4, 5}, want: []string{"3", "4", "5"}},
+		{name: "[]float64", in: []float64{1.5, -0.25}, want: []string{"1.5", "-0.25"}},
+		{name: "[]bool", in: []bool{true, false}, want: []string{"true", "false"}},
+		{name: "[]any mixed", in: []any{int64(1), "x", false}, want: []string{"1", "x", "false"}},
+		{name: "[]any nested", in: []any{[]int64{1, 2}, []bool{true}}, want: []string{"1", "2", "true"}},
+		{name: "unsupported", in: struct{}{}, fails: true},
+		{name: "unsupported slice", in: []int32{1}, fails: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := xqgo.ToSequence(tc.in)
+			if tc.fails {
+				if err == nil {
+					t.Fatalf("ToSequence(%T) succeeded, want error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(seq), len(tc.want))
+			}
+			for i, it := range seq {
+				got, err := xqgo.ItemString(it)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != tc.want[i] {
+					t.Errorf("item %d = %q, want %q", i, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestToSequenceBindRoundTrip drives the new slice kinds through an actual
+// query, the way the service's variable-binding endpoint uses them.
+func TestToSequenceBindRoundTrip(t *testing.T) {
+	q := xqgo.MustCompile(`
+		declare variable $is external;
+		declare variable $fs external;
+		declare variable $bs external;
+		concat(sum($is), "|", sum($fs), "|", count($bs[. = true()]))`, nil)
+	out, err := q.EvalString(xqgo.NewContext().
+		Bind("is", []int64{1, 2, 3}).
+		Bind("fs", []float64{0.5, 0.25}).
+		Bind("bs", []bool{true, false, true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "6|0.75|2" {
+		t.Errorf("result = %q, want 6|0.75|2", out)
+	}
+}
+
+// Regression: AllowFilesystem used to install a fresh document registry,
+// silently discarding documents registered beforehand.
+func TestAllowFilesystemKeepsRegistrations(t *testing.T) {
+	mem := xqgo.MustParseString(`<m><v>registered</v></m>`, "mem.xml")
+	onDisk := filepath.Join(t.TempDir(), "disk.xml")
+	if err := os.WriteFile(onDisk, []byte(`<d><v>from-disk</v></d>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := xqgo.NewContext().
+		RegisterDocument("mem.xml", mem).
+		AllowFilesystem()
+
+	// The pre-registered document is still resolvable...
+	q := xqgo.MustCompile(`string(doc("mem.xml")/m/v)`, nil)
+	out, err := q.EvalString(ctx)
+	if err != nil {
+		t.Fatalf("registered doc lost after AllowFilesystem: %v", err)
+	}
+	if out != "registered" {
+		t.Errorf("result = %q, want registered", out)
+	}
+
+	// ...and the filesystem fallback works on the same context.
+	q2 := xqgo.MustCompile(`string(doc("`+onDisk+`")/d/v)`, nil)
+	out, err = q2.EvalString(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "from-disk" {
+		t.Errorf("result = %q, want from-disk", out)
+	}
+
+	// Registration order must not matter either.
+	ctx2 := xqgo.NewContext().
+		AllowFilesystem().
+		RegisterDocument("mem.xml", mem)
+	out, err = q.EvalString(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "registered" {
+		t.Errorf("result = %q, want registered", out)
+	}
+
+	// Without AllowFilesystem, unregistered URIs still fail.
+	if _, err := q2.EvalString(xqgo.NewContext()); err == nil {
+		t.Error("filesystem read succeeded without AllowFilesystem")
+	}
+}
+
+// TestContextInterrupt verifies the cancellation hook aborts a
+// long-running evaluation with the hook's error.
+func TestContextInterrupt(t *testing.T) {
+	q := xqgo.MustCompile(`count(for $i in 1 to 1000000000 return $i)`, nil)
+	calls := 0
+	wantErr := os.ErrDeadlineExceeded
+	ctx := xqgo.NewContext().WithInterrupt(func() error {
+		calls++
+		if calls > 3 {
+			return wantErr
+		}
+		return nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Eval(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != wantErr {
+			t.Errorf("err = %v, want %v", err, wantErr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interrupt never fired")
+	}
+}

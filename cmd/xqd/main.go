@@ -1,0 +1,107 @@
+// Command xqd is the XQuery daemon: it serves the engine over HTTP with a
+// shared document catalog, a compiled-plan LRU cache, and admission
+// control (bounded workers + bounded queue, fast 503s under overload).
+//
+// Usage:
+//
+//	xqd [flags]
+//
+//	xqd -addr :8090 -doc orders=orders.xml -joins
+//	curl -X PUT --data-binary @bib.xml localhost:8090/documents/bib
+//	curl -d '{"query":"count(/bib/book)","doc":"bib"}' localhost:8090/query
+//	curl localhost:8090/stats
+//
+// The bound address is printed on startup (use -addr 127.0.0.1:0 to pick a
+// free port).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xqgo"
+	"xqgo/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8090", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth before rejecting with 503")
+		planCache = flag.Int("plan-cache", 256, "compiled-plan LRU capacity")
+		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxResult = flag.Int64("max-result-bytes", 32<<20, "per-request serialized result cap (-1 = unlimited)")
+		joins     = flag.Bool("joins", false, "evaluate //a//b chains with structural joins over shared catalog indexes")
+		memo      = flag.Bool("memo", false, "memoize pure user-function calls within each execution")
+		stripWS   = flag.Bool("strip-ws", false, "drop whitespace-only text nodes when parsing documents")
+		poolText  = flag.Bool("pool-text", false, "dictionary-pool repeated text values when parsing documents")
+	)
+	var docs multiFlag
+	flag.Var(&docs, "doc", "preload document: name=file.xml (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: xqd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PlanCacheSize:  *planCache,
+		DefaultTimeout: *timeout,
+		MaxResultBytes: *maxResult,
+		Options: xqgo.Options{
+			UseStructuralJoins: *joins,
+			MemoizeFunctions:   *memo,
+		},
+		ParseOptions: xqgo.ParseOptions{
+			StripWhitespace: *stripWS,
+			PoolText:        *poolText,
+		},
+	})
+
+	for _, spec := range docs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("-doc %q: want name=file.xml", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := svc.RegisterDocument(name, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("-doc %s: %v", spec, err))
+		}
+		fmt.Fprintf(os.Stderr, "xqd: loaded %s: %d bytes, %d nodes\n", name, info.Bytes, info.Nodes)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Announce the bound address on stdout so callers using :0 (tests,
+	// scripts) can discover the port.
+	fmt.Printf("xqd listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: service.NewHTTPHandler(svc)}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqd:", err)
+	os.Exit(1)
+}

@@ -254,6 +254,9 @@ func (c *compiler) compileRaw(e expr.Expr) (seqFn, error) {
 				if cur > ib {
 					return nil, false, nil
 				}
+				if err := fr.dyn.CheckInterrupt(); err != nil {
+					return nil, false, err
+				}
 				v := xdm.NewInteger(cur)
 				cur++
 				return v, true, nil

@@ -324,6 +324,9 @@ func applyClause(tuples tupleIter, cl *compiledClause) tupleIter {
 				inner = cl.in(t)
 				pos = 0
 			}
+			if err := outer.dyn.CheckInterrupt(); err != nil {
+				return nil, false, err
+			}
 			it, ok, err := inner.Next()
 			if err != nil {
 				return nil, false, err

@@ -54,6 +54,9 @@ func (c *compiler) compileNavPath(n *expr.Path) (seqFn, error) {
 		pos := int64(0)
 		return iterFunc(func() (xdm.Item, bool, error) {
 			for {
+				if err := fr.dyn.CheckInterrupt(); err != nil {
+					return nil, false, err
+				}
 				if cur == nil {
 					it, ok, err := li.Next()
 					if err != nil {

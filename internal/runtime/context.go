@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"xqgo/internal/store"
+	"xqgo/internal/structjoin"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xmlparse"
 )
@@ -26,10 +29,46 @@ type Dynamic struct {
 	// Now is the stable current dateTime; zero means time.Now at first use.
 	Now time.Time
 
+	// Interrupt, when non-nil, is polled periodically while the engine
+	// iterates (a step budget: every interruptStride productive iterator
+	// steps). A non-nil return aborts the execution with that error. This is
+	// the cancellation hook the service layer uses for per-request deadlines
+	// and client disconnects; long-running queries observe it even in the
+	// middle of an aggregate that never yields an item to the caller.
+	Interrupt func() error
+
 	once    sync.Once
 	nowAtom xdm.Atomic
 	indexes indexCache
 	memo    memoCache
+	steps   atomic.Uint64
+}
+
+// interruptStride bounds how often the Interrupt hook actually runs: once
+// per this many CheckInterrupt calls. Checks are placed on the engine's
+// unbounded loops (path steps, FLWOR tuples, ranges), so a runaway query
+// polls its deadline every few thousand items at worst.
+const interruptStride = 256
+
+// CheckInterrupt polls the cancellation hook, rate-limited by the step
+// budget. Safe for concurrent use (the Parallel engine shares one Dynamic
+// across branch goroutines).
+func (d *Dynamic) CheckInterrupt() error {
+	if d.Interrupt == nil {
+		return nil
+	}
+	if d.steps.Add(1)%interruptStride != 0 {
+		return nil
+	}
+	return d.Interrupt()
+}
+
+// SeedIndex pre-populates the per-execution structural-join index cache
+// with an already built index. The service layer's document catalog builds
+// one index per document and shares it across requests, so concurrent
+// executions skip the per-Dynamic lazy build.
+func (d *Dynamic) SeedIndex(doc *store.Document, idx *structjoin.Index) {
+	d.indexes.seed(doc, idx)
 }
 
 // DocResolver resolves a document URI to its document node.
@@ -56,6 +95,14 @@ func (r *DocRegistry) Register(uri string, doc xdm.Node) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.docs[uri] = doc
+}
+
+// AllowFilesystem toggles the filesystem fallback for unknown URIs without
+// discarding existing registrations.
+func (r *DocRegistry) AllowFilesystem(allow bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.useFS = allow
 }
 
 // Doc implements DocResolver.

@@ -106,6 +106,11 @@ func (p *Prepared) ExecuteToWriter(dyn *Dynamic, w io.Writer) (err error) {
 	sw := tokens.NewStreamWriter(w)
 	prevAtomic := false
 	for {
+		if dyn != nil {
+			if err := dyn.CheckInterrupt(); err != nil {
+				return err
+			}
+		}
 		item, ok, err := it.Next()
 		if err != nil {
 			return err

@@ -23,6 +23,16 @@ type indexCache struct {
 	idxs map[*store.Document]*structjoin.Index
 }
 
+// seed installs an externally built (shared) index for a document.
+func (c *indexCache) seed(d *store.Document, idx *structjoin.Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.idxs == nil {
+		c.idxs = make(map[*store.Document]*structjoin.Index)
+	}
+	c.idxs[d] = idx
+}
+
 func (c *indexCache) indexFor(d *store.Document) *structjoin.Index {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,244 @@
+// Package service is the serving layer around the xqgo engine: a shared
+// document catalog, a compiled-plan cache, and a bounded request executor
+// with admission control — the pieces that turned the paper's XQRL
+// processor into the query engine of a message-transformation server. The
+// package is wired to HTTP by NewHTTPHandler and run as a daemon by
+// cmd/xqd.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"xqgo"
+	"xqgo/internal/structjoin"
+)
+
+// CatalogEntry is one registered document: the parsed tree plus accounting
+// and a lazily built, shared structural-join name index.
+type CatalogEntry struct {
+	Name         string
+	Doc          *xqgo.Document
+	Bytes        int64 // size of the XML source text
+	Nodes        int   // stored nodes (all kinds)
+	RegisteredAt time.Time
+
+	indexOnce  sync.Once
+	index      *structjoin.Index
+	indexBuilt chan struct{} // closed once index is available
+}
+
+func newEntry(name string, doc *xqgo.Document, bytes int64) *CatalogEntry {
+	return &CatalogEntry{
+		Name:         name,
+		Doc:          doc,
+		Bytes:        bytes,
+		Nodes:        doc.NumNodes(),
+		RegisteredAt: time.Now(),
+		indexBuilt:   make(chan struct{}),
+	}
+}
+
+// Index returns the structural-join name index for the document, building
+// it on first use. The build happens at most once per catalog entry; every
+// request thereafter shares the same index (seeded into each request's
+// evaluation context), instead of each execution lazily building its own.
+func (e *CatalogEntry) Index() *structjoin.Index {
+	e.indexOnce.Do(func() {
+		e.index = structjoin.BuildIndex(e.Doc.Store())
+		close(e.indexBuilt)
+	})
+	return e.index
+}
+
+// builtIndex returns the shared index only if it has already been built —
+// used to seed secondary documents into a request context without forcing
+// eager index construction for documents the query may never touch.
+func (e *CatalogEntry) builtIndex() (*structjoin.Index, bool) {
+	select {
+	case <-e.indexBuilt:
+		return e.index, true
+	default:
+		return nil, false
+	}
+}
+
+// DocInfo is the externally visible summary of a catalog entry.
+type DocInfo struct {
+	Name         string    `json:"name"`
+	Bytes        int64     `json:"bytes"`
+	Nodes        int       `json:"nodes"`
+	RegisteredAt time.Time `json:"registeredAt"`
+}
+
+func (e *CatalogEntry) info() DocInfo {
+	return DocInfo{Name: e.Name, Bytes: e.Bytes, Nodes: e.Nodes, RegisteredAt: e.RegisteredAt}
+}
+
+// Catalog is a thread-safe registry of named documents and collections
+// shared by all requests. Registration parses the XML once; eviction drops
+// the tree (and its index) for the garbage collector.
+type Catalog struct {
+	mu          sync.RWMutex
+	docs        map[string]*CatalogEntry
+	collections map[string][]string // collection name -> member document names
+	totalBytes  int64
+	totalNodes  int64
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		docs:        make(map[string]*CatalogEntry),
+		collections: make(map[string][]string),
+	}
+}
+
+// countingReader tracks how many bytes the parser consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Register parses r and stores the document under name, replacing any
+// previous document with that name.
+func (c *Catalog) Register(name string, r io.Reader, po xqgo.ParseOptions) (*CatalogEntry, error) {
+	cr := &countingReader{r: r}
+	doc, err := xqgo.ParseWith(cr, name, po)
+	if err != nil {
+		return nil, err
+	}
+	return c.RegisterParsed(name, doc, cr.n), nil
+}
+
+// RegisterParsed stores an already parsed document under name. srcBytes is
+// the size of the source text (0 if unknown).
+func (c *Catalog) RegisterParsed(name string, doc *xqgo.Document, srcBytes int64) *CatalogEntry {
+	e := newEntry(name, doc, srcBytes)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.docs[name]; ok {
+		c.totalBytes -= old.Bytes
+		c.totalNodes -= int64(old.Nodes)
+	}
+	c.docs[name] = e
+	c.totalBytes += e.Bytes
+	c.totalNodes += int64(e.Nodes)
+	return e
+}
+
+// Get looks up a document by name.
+func (c *Catalog) Get(name string) (*CatalogEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.docs[name]
+	return e, ok
+}
+
+// Evict removes a document; it reports whether the name was registered.
+// In-flight requests that already resolved the entry keep their reference
+// until they finish (no use-after-free hazard: the tree is immutable).
+func (c *Catalog) Evict(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.docs[name]
+	if !ok {
+		return false
+	}
+	delete(c.docs, name)
+	c.totalBytes -= e.Bytes
+	c.totalNodes -= int64(e.Nodes)
+	return true
+}
+
+// RegisterCollection names a list of catalog documents; queries see it via
+// fn:collection(name). Members are resolved per request, so later
+// re-registration of a member document is picked up.
+func (c *Catalog) RegisterCollection(name string, members []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range members {
+		if _, ok := c.docs[m]; !ok {
+			return fmt.Errorf("collection %q: document %q not registered", name, m)
+		}
+	}
+	c.collections[name] = append([]string(nil), members...)
+	return nil
+}
+
+// Collection resolves a named collection to its current member entries.
+func (c *Catalog) Collection(name string) ([]*CatalogEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	members, ok := c.collections[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]*CatalogEntry, 0, len(members))
+	for _, m := range members {
+		if e, ok := c.docs[m]; ok {
+			out = append(out, e)
+		}
+	}
+	return out, true
+}
+
+// collectionsAll resolves every named collection to its current members.
+func (c *Catalog) collectionsAll() map[string][]*CatalogEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.collections) == 0 {
+		return nil
+	}
+	out := make(map[string][]*CatalogEntry, len(c.collections))
+	for name, members := range c.collections {
+		list := make([]*CatalogEntry, 0, len(members))
+		for _, m := range members {
+			if e, ok := c.docs[m]; ok {
+				list = append(list, e)
+			}
+		}
+		out[name] = list
+	}
+	return out
+}
+
+// List returns summaries of all registered documents, sorted by name.
+func (c *Catalog) List() []DocInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DocInfo, 0, len(c.docs))
+	for _, e := range c.docs {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// snapshot returns the per-request view: every entry plus the collection
+// table, taken under one lock so a request sees a consistent catalog.
+func (c *Catalog) snapshot() []*CatalogEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*CatalogEntry, 0, len(c.docs))
+	for _, e := range c.docs {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Totals returns the aggregate document count, source bytes and node count.
+func (c *Catalog) Totals() (docs int, bytes int64, nodes int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs), c.totalBytes, c.totalNodes
+}

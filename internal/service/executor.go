@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned when a request arrives while the worker pool is
+// busy and the admission queue is full — the graceful-degradation path:
+// reject fast (HTTP 503) instead of queueing unboundedly and growing
+// memory under overload.
+var ErrSaturated = errors.New("service: saturated — admission queue full")
+
+// Executor is a bounded worker pool with admission control. At most
+// `workers` requests execute concurrently; at most `queue` more wait for a
+// slot; anything beyond that is rejected immediately with ErrSaturated.
+// Queued requests still honor their deadline: a request whose context
+// expires while waiting never starts executing.
+type Executor struct {
+	slots    chan struct{} // capacity = workers
+	admitted atomic.Int64  // executing + queued
+	limit    int64         // workers + queue
+	inFlight atomic.Int64  // currently executing
+}
+
+// NewExecutor creates a pool of the given size. workers < 1 defaults to 1;
+// queue < 0 defaults to 0 (no waiting: reject whenever all workers busy).
+func NewExecutor(workers, queue int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Executor{
+		slots: make(chan struct{}, workers),
+		limit: int64(workers + queue),
+	}
+}
+
+// Do runs fn under admission control. It returns ErrSaturated without
+// running fn when the pool and queue are full, and ctx.Err() without
+// running fn when the context expires while queued.
+func (e *Executor) Do(ctx context.Context, fn func() error) error {
+	if e.admitted.Add(1) > e.limit {
+		e.admitted.Add(-1)
+		return ErrSaturated
+	}
+	defer e.admitted.Add(-1)
+
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	e.inFlight.Add(1)
+	defer func() {
+		e.inFlight.Add(-1)
+		<-e.slots
+	}()
+	return fn()
+}
+
+// InFlight returns the number of currently executing requests.
+func (e *Executor) InFlight() int64 { return e.inFlight.Load() }
+
+// Queued returns the number of requests waiting for a worker slot.
+func (e *Executor) Queued() int64 {
+	q := e.admitted.Load() - e.inFlight.Load()
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Workers returns the concurrency limit.
+func (e *Executor) Workers() int { return cap(e.slots) }

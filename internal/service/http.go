@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// NewHTTPHandler exposes the service over HTTP (stdlib net/http only):
+//
+//	PUT/POST /documents/{name}   register a document (body = XML)
+//	GET      /documents          list registered documents
+//	GET      /documents/{name}   one document's info
+//	DELETE   /documents/{name}   evict a document
+//	POST     /collections/{name} define a collection (body = JSON name list)
+//	POST     /query              run a query (body = queryRequest JSON)
+//	GET      /stats              counters, latency percentiles, cache ratios
+//	GET      /healthz            liveness
+func NewHTTPHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	register := func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.RegisterDocument(r.PathValue("name"), r.Body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	}
+	mux.HandleFunc("PUT /documents/{name}", register)
+	mux.HandleFunc("POST /documents/{name}", register)
+	mux.HandleFunc("GET /documents", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Catalog.List())
+	})
+	mux.HandleFunc("GET /documents/{name}", func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.Catalog.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, fmt.Errorf("%w: %q", ErrUnknownDocument, r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, e.info())
+	})
+	mux.HandleFunc("DELETE /documents/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Catalog.Evict(r.PathValue("name")) {
+			writeError(w, fmt.Errorf("%w: %q", ErrUnknownDocument, r.PathValue("name")))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var members []string
+		if err := json.NewDecoder(r.Body).Decode(&members); err != nil {
+			writeError(w, &BadRequestError{Err: err})
+			return
+		}
+		if err := s.Catalog.RegisterCollection(r.PathValue("name"), members); err != nil {
+			writeError(w, &BadRequestError{Err: err})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query          string         `json:"query"`
+	Doc            string         `json:"doc,omitempty"`
+	Vars           map[string]any `json:"vars,omitempty"`
+	TimeoutMs      int64          `json:"timeoutMs,omitempty"`
+	MaxResultBytes int64          `json:"maxResultBytes,omitempty"`
+	// Stream switches to chunked XML output: bytes are written as the
+	// engine produces them (no result materialization server-side).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// queryResponse is the materialized POST /query response.
+type queryResponse struct {
+	Result string `json:"result"`
+	Cached bool   `json:"cached"`
+	Micros int64  `json:"micros"`
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		writeError(w, &BadRequestError{Err: fmt.Errorf("invalid request body: %v", err)})
+		return
+	}
+	if qr.Query == "" {
+		writeError(w, &BadRequestError{Err: errors.New("missing \"query\"")})
+		return
+	}
+	req := Request{
+		Query:          qr.Query,
+		ContextDoc:     qr.Doc,
+		Vars:           normalizeVars(qr.Vars),
+		Timeout:        time.Duration(qr.TimeoutMs) * time.Millisecond,
+		MaxResultBytes: qr.MaxResultBytes,
+	}
+	if qr.Stream {
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		// Status and headers are committed at the first write; errors after
+		// that can only truncate the stream.
+		if _, err := s.Execute(r.Context(), req, w); err != nil {
+			writeError(w, err) // no-op on the status line if already streaming
+		}
+		return
+	}
+	res, err := s.Query(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Result: res.XML,
+		Cached: res.Cached,
+		Micros: res.Elapsed.Microseconds(),
+	})
+}
+
+// normalizeVars converts JSON-decoded variable values into the Go kinds
+// xqgo.ToSequence accepts: integral float64s become int64 (JSON has no
+// integer type), and homogeneous arrays become typed slices.
+func normalizeVars(vars map[string]any) map[string]any {
+	if len(vars) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(vars))
+	for k, v := range vars {
+		out[k] = normalizeJSONValue(v)
+	}
+	return out
+}
+
+func normalizeJSONValue(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case []any:
+		ints := make([]int64, 0, len(x))
+		floats := make([]float64, 0, len(x))
+		bools := make([]bool, 0, len(x))
+		strs := make([]string, 0, len(x))
+		for _, e := range x {
+			switch y := normalizeJSONValue(e).(type) {
+			case int64:
+				ints = append(ints, y)
+				floats = append(floats, float64(y))
+			case float64:
+				floats = append(floats, y)
+			case bool:
+				bools = append(bools, y)
+			case string:
+				strs = append(strs, y)
+			}
+		}
+		switch {
+		case len(ints) == len(x):
+			return ints
+		case len(floats) == len(x):
+			return floats
+		case len(bools) == len(x):
+			return bools
+		case len(strs) == len(x):
+			return strs
+		default:
+			return x // mixed: ToSequence recurses item by item
+		}
+	default:
+		return v
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusForError(err), errorResponse{Error: err.Error()})
+}
+
+// statusForError maps service errors onto HTTP semantics: overload is 503
+// (retryable), deadline expiry 504, oversized results 413, client mistakes
+// 400/404, and runtime query failures 422.
+func statusForError(err error) int {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownDocument):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSaturated):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrResultTooLarge):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"xqgo"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds concurrent query executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker before the service
+	// starts rejecting with ErrSaturated (default 64).
+	QueueDepth int
+	// PlanCacheSize bounds the compiled-plan LRU (default 256 plans).
+	PlanCacheSize int
+	// DefaultTimeout applies to requests that set none (default 10s).
+	DefaultTimeout time.Duration
+	// MaxResultBytes caps the serialized result size per request
+	// (default 32 MiB; negative = unlimited).
+	MaxResultBytes int64
+	// Options are the compile options applied to every query (e.g. turn on
+	// UseStructuralJoins to serve descendant chains from the shared
+	// catalog indexes).
+	Options xqgo.Options
+	// ParseOptions apply when registering documents.
+	ParseOptions xqgo.ParseOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxResultBytes == 0 {
+		c.MaxResultBytes = 32 << 20
+	}
+	return c
+}
+
+// Service ties the catalog, plan cache and executor together: the
+// concurrent XQuery serving layer.
+type Service struct {
+	cfg     Config
+	Catalog *Catalog
+	plans   *PlanCache
+	exec    *Executor
+	stats   *statsCore
+}
+
+// New creates a service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		Catalog: NewCatalog(),
+		plans:   NewPlanCache(cfg.PlanCacheSize),
+		exec:    NewExecutor(cfg.Workers, cfg.QueueDepth),
+		stats:   newStatsCore(),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// RegisterDocument parses and registers a document in the catalog.
+func (s *Service) RegisterDocument(name string, r io.Reader) (DocInfo, error) {
+	e, err := s.Catalog.Register(name, r, s.cfg.ParseOptions)
+	if err != nil {
+		return DocInfo{}, &BadRequestError{Err: err}
+	}
+	return e.info(), nil
+}
+
+// Request describes one query execution.
+type Request struct {
+	// Query is the XQuery source text.
+	Query string
+	// ContextDoc, when non-empty, names a catalog document used as the
+	// initial context item (so /a/b paths work without fn:doc).
+	ContextDoc string
+	// Vars binds external variables; values go through xqgo.ToSequence.
+	Vars map[string]any
+	// Timeout overrides Config.DefaultTimeout when positive.
+	Timeout time.Duration
+	// MaxResultBytes overrides Config.MaxResultBytes when non-zero
+	// (negative = unlimited).
+	MaxResultBytes int64
+}
+
+// Result is a materialized query response.
+type Result struct {
+	// XML is the serialized result sequence.
+	XML string
+	// Cached reports whether the plan came from the plan cache.
+	Cached bool
+	// Elapsed is the total service-side latency (queue wait included).
+	Elapsed time.Duration
+}
+
+// ErrResultTooLarge is returned when the serialized result exceeds the
+// per-request byte limit. Streaming responses are truncated at the limit.
+var ErrResultTooLarge = errors.New("service: result exceeds size limit")
+
+// ErrUnknownDocument is wrapped into errors for requests naming a catalog
+// document that is not registered.
+var ErrUnknownDocument = errors.New("service: unknown document")
+
+// BadRequestError marks client-side failures (malformed query text, bad
+// variable values, unparseable documents), as opposed to evaluation errors.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// limitWriter enforces the result-size cap.
+type limitWriter struct {
+	w   io.Writer
+	rem int64 // negative = unlimited
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if l.rem < 0 {
+		return l.w.Write(p)
+	}
+	if int64(len(p)) > l.rem {
+		return 0, ErrResultTooLarge
+	}
+	n, err := l.w.Write(p)
+	l.rem -= int64(n)
+	return n, err
+}
+
+// Query runs a request to completion and returns the materialized result.
+func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
+	var buf bytes.Buffer
+	cached, elapsed, err := s.run(ctx, req, &buf)
+	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed}, err
+}
+
+// Execute streams the serialized result to w as it is produced (the
+// engine's time-to-first-answer path). The plan-cache flag is returned;
+// errors after the first byte reach the caller with the output truncated.
+func (s *Service) Execute(ctx context.Context, req Request, w io.Writer) (bool, error) {
+	cached, _, err := s.run(ctx, req, w)
+	return cached, err
+}
+
+// run is the shared request path: admission control, deadline, plan-cache
+// lookup, per-request context assembly, execution, stats.
+func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, err error) {
+	start := time.Now()
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	err = s.exec.Do(rctx, func() error {
+		opts := s.cfg.Options
+		q, fromCache, cerr := s.plans.Get(req.Query, &opts)
+		cached = fromCache
+		if cerr != nil {
+			return &BadRequestError{Err: cerr}
+		}
+		qctx, berr := s.buildContext(rctx, req)
+		if berr != nil {
+			return berr
+		}
+		limit := req.MaxResultBytes
+		if limit == 0 {
+			limit = s.cfg.MaxResultBytes
+		}
+		if limit < 0 {
+			limit = -1
+		}
+		return q.Execute(qctx, &limitWriter{w: w, rem: limit})
+	})
+	elapsed = time.Since(start)
+	s.stats.observe(classify(err), elapsed)
+	return cached, elapsed, err
+}
+
+func classify(err error) outcome {
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.Is(err, ErrSaturated):
+		return outcomeRejected
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return outcomeTimeout
+	default:
+		return outcomeError
+	}
+}
+
+// buildContext assembles the per-request evaluation context: every catalog
+// document is visible to fn:doc(name), collections to fn:collection(name),
+// the context document's shared structural-join index is seeded, external
+// variables are bound, and the request deadline is installed as the
+// engine's interrupt hook.
+func (s *Service) buildContext(rctx context.Context, req Request) (*xqgo.Context, error) {
+	qctx := xqgo.NewContext()
+	entries := s.Catalog.snapshot()
+	for _, e := range entries {
+		qctx.RegisterDocument(e.Name, e.Doc)
+		if s.cfg.Options.UseStructuralJoins {
+			if idx, ok := e.builtIndex(); ok {
+				qctx.SeedIndex(e.Doc, idx)
+			}
+		}
+	}
+	for name, members := range s.Catalog.collectionsAll() {
+		var seq xqgo.Sequence
+		for _, e := range members {
+			seq = append(seq, e.Doc.Root())
+		}
+		qctx.RegisterCollection(name, seq)
+	}
+	if req.ContextDoc != "" {
+		e, ok := s.Catalog.Get(req.ContextDoc)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, req.ContextDoc)
+		}
+		qctx.WithContextNode(e.Doc)
+		if s.cfg.Options.UseStructuralJoins {
+			// Force-build (once) and share the index for the document the
+			// query will actually navigate.
+			qctx.SeedIndex(e.Doc, e.Index())
+		}
+	}
+	for name, val := range req.Vars {
+		seq, err := xqgo.ToSequence(val)
+		if err != nil {
+			return nil, &BadRequestError{Err: fmt.Errorf("variable $%s: %v", name, err)}
+		}
+		qctx.Bind(name, seq)
+	}
+	qctx.WithInterrupt(rctx.Err)
+	return qctx, nil
+}

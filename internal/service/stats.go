@@ -1,0 +1,125 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding window of recent request latencies kept for
+// percentile estimation.
+const latWindow = 2048
+
+// statsCore accumulates request outcomes. Latencies cover the whole
+// service-level request — queue wait included — since that is what a
+// client observes.
+type statsCore struct {
+	mu       sync.Mutex
+	served   uint64 // successful queries
+	errors   uint64 // compile/eval/binding failures
+	rejected uint64 // admission-control rejections
+	timeouts uint64 // deadline exceeded / canceled
+	lat      []time.Duration
+	pos      int
+	start    time.Time
+}
+
+func newStatsCore() *statsCore {
+	return &statsCore{lat: make([]time.Duration, 0, latWindow), start: time.Now()}
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeError
+	outcomeRejected
+	outcomeTimeout
+)
+
+func (s *statsCore) observe(o outcome, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch o {
+	case outcomeOK:
+		s.served++
+	case outcomeError:
+		s.errors++
+	case outcomeRejected:
+		s.rejected++
+		return // rejections are instantaneous; keep them out of latency
+	case outcomeTimeout:
+		s.timeouts++
+	}
+	if len(s.lat) < latWindow {
+		s.lat = append(s.lat, d)
+	} else {
+		s.lat[s.pos] = d
+		s.pos = (s.pos + 1) % latWindow
+	}
+}
+
+// percentiles returns p50 and p99 over the window (0 when empty).
+func (s *statsCore) percentiles() (p50, p99 time.Duration) {
+	s.mu.Lock()
+	buf := append([]time.Duration(nil), s.lat...)
+	s.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(len(buf)-1))
+		return i
+	}
+	return buf[idx(0.50)], buf[idx(0.99)]
+}
+
+// DocTotals aggregates the catalog accounting.
+type DocTotals struct {
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+	Nodes int64 `json:"nodes"`
+}
+
+// Snapshot is the service's stats surface: a plain struct that marshals to
+// expvar-style JSON on GET /stats.
+type Snapshot struct {
+	Served      uint64         `json:"served"`
+	Errors      uint64         `json:"errors"`
+	Rejected    uint64         `json:"rejected"`
+	Timeouts    uint64         `json:"timeouts"`
+	InFlight    int64          `json:"inFlight"`
+	Queued      int64          `json:"queued"`
+	P50Micros   int64          `json:"p50Micros"`
+	P99Micros   int64          `json:"p99Micros"`
+	PlanCache   PlanCacheStats `json:"planCache"`
+	Documents   DocTotals      `json:"documents"`
+	UptimeSecs  float64        `json:"uptimeSecs"`
+	WorkerSlots int            `json:"workerSlots"`
+}
+
+// Stats snapshots every counter in the service.
+func (s *Service) Stats() Snapshot {
+	st := s.stats
+	st.mu.Lock()
+	served, errs, rej, to := st.served, st.errors, st.rejected, st.timeouts
+	start := st.start
+	st.mu.Unlock()
+	p50, p99 := st.percentiles()
+	docs, bytes, nodes := s.Catalog.Totals()
+	return Snapshot{
+		Served:      served,
+		Errors:      errs,
+		Rejected:    rej,
+		Timeouts:    to,
+		InFlight:    s.exec.InFlight(),
+		Queued:      s.exec.Queued(),
+		P50Micros:   p50.Microseconds(),
+		P99Micros:   p99.Microseconds(),
+		PlanCache:   s.plans.Stats(),
+		Documents:   DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
+		UptimeSecs:  time.Since(start).Seconds(),
+		WorkerSlots: s.exec.Workers(),
+	}
+}

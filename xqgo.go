@@ -21,6 +21,7 @@ import (
 	"xqgo/internal/runtime"
 	"xqgo/internal/serializer"
 	"xqgo/internal/store"
+	"xqgo/internal/structjoin"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xmlparse"
 	"xqgo/internal/xqparse"
@@ -88,6 +89,15 @@ const (
 )
 
 // Query is a compiled, optimized, executable query.
+//
+// A Query is immutable after Compile and safe for concurrent use: any
+// number of goroutines may call Eval, EvalString, Execute or Iterator on
+// the same Query simultaneously (the service layer's plan cache relies on
+// this). Per-execution state — function memoization, structural-join
+// indexes, the stable current dateTime — lives on the Context, which is
+// internally synchronized; a Context may also be shared across concurrent
+// evaluations as long as it is not mutated (Bind, RegisterDocument, …)
+// while a query runs on it.
 type Query struct {
 	prepared *runtime.Prepared
 	plan     *expr.Query
@@ -214,9 +224,9 @@ func NewContext() *Context {
 }
 
 // AllowFilesystem lets fn:doc() read unregistered URIs from disk.
+// Documents already added via RegisterDocument remain registered.
 func (c *Context) AllowFilesystem() *Context {
-	c.reg = runtime.NewDocRegistry(true)
-	c.dyn.Resolver = c.reg
+	c.reg.AllowFilesystem(true)
 	return c
 }
 
@@ -250,6 +260,26 @@ func (c *Context) WithContextItem(it Item) *Context {
 // WithNow pins fn:current-dateTime() (for reproducible tests).
 func (c *Context) WithNow(t time.Time) *Context {
 	c.dyn.Now = t
+	return c
+}
+
+// WithInterrupt installs a cancellation hook polled periodically during
+// evaluation (a step budget over the engine's iterator loops). When the
+// hook returns a non-nil error, the execution aborts with it. The service
+// layer uses this to enforce per-request deadlines:
+//
+//	ctx.WithInterrupt(func() error { return reqCtx.Err() })
+func (c *Context) WithInterrupt(f func() error) *Context {
+	c.dyn.Interrupt = f
+	return c
+}
+
+// SeedIndex pre-populates the structural-join index cache for d with an
+// already built index (see structjoin.BuildIndex), so executions compiled
+// with UseStructuralJoins share one index instead of each building their
+// own. The index must have been built from d's store document.
+func (c *Context) SeedIndex(d *Document, idx *structjoin.Index) *Context {
+	c.dyn.SeedIndex(d.doc, idx)
 	return c
 }
 
@@ -298,6 +328,24 @@ func ToSequence(value any) (Sequence, error) {
 		out := make(Sequence, len(v))
 		for i, x := range v {
 			out[i] = xdm.NewInteger(int64(x))
+		}
+		return out, nil
+	case []int64:
+		out := make(Sequence, len(v))
+		for i, x := range v {
+			out[i] = xdm.NewInteger(x)
+		}
+		return out, nil
+	case []float64:
+		out := make(Sequence, len(v))
+		for i, x := range v {
+			out[i] = xdm.NewDouble(x)
+		}
+		return out, nil
+	case []bool:
+		out := make(Sequence, len(v))
+		for i, x := range v {
+			out[i] = xdm.NewBoolean(x)
 		}
 		return out, nil
 	case []any:
