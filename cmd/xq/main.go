@@ -7,6 +7,7 @@
 //	xq -doc bib.xml 'for $b in /bib/book return $b/title'
 //	xq -var wlc=config.xml -f transform.xq
 //	xq -engine eager -no-opt 'count(//item)'   # baseline engine
+//	xq -explain -doc bib.xml -f q1.xq          # EXPLAIN ANALYZE report
 //
 // The document given with -doc becomes the context item; -var name=file
 // binds external variables to parsed documents; -var name:=value binds
@@ -31,6 +32,7 @@ func main() {
 		noOpt     = flag.Bool("no-opt", false, "disable the rewriting optimizer")
 		disable   = flag.String("disable-rules", "", "comma-separated optimizer rules to disable")
 		plan      = flag.Bool("plan", false, "print the optimized expression tree and exit")
+		explain   = flag.Bool("explain", false, "run the query, then print the plan, optimizer rewrites, per-operator execution stats and engine counters (subsumes -plan and -time)")
 		timing    = flag.Bool("time", false, "print compile/evaluate timings to stderr")
 		stream    = flag.Bool("stream", true, "serialize the result incrementally")
 	)
@@ -78,6 +80,11 @@ func main() {
 	}
 
 	ctx := xqgo.NewContext().AllowFilesystem()
+	var prof *xqgo.Profile
+	if *explain {
+		prof = q.NewProfile()
+		ctx.WithProfile(prof)
+	}
 	if *docPath != "" {
 		f, err := os.Open(*docPath)
 		if err != nil {
@@ -126,8 +133,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println()
+	execTime := time.Since(t1)
+	if *explain {
+		fmt.Println()
+		printExplain(os.Stdout, q, prof, compileTime, execTime)
+	}
 	if *timing {
-		fmt.Fprintf(os.Stderr, "compile %v  evaluate %v\n", compileTime, time.Since(t1))
+		fmt.Fprintf(os.Stderr, "compile %v  evaluate %v\n", compileTime, execTime)
 	}
 }
 

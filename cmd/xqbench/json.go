@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"xqgo"
+	"xqgo/internal/workload"
+)
+
+// benchRow is one machine-readable benchmark result (ns per full operation).
+type benchRow struct {
+	Name   string `json:"name"`
+	NsPerOp int64 `json:"nsPerOp"`
+}
+
+// benchReport is the JSON artifact written by -json (BENCH_PR2.json in CI).
+type benchReport struct {
+	GoVersion  string     `json:"goVersion"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Reps       int        `json:"reps"`
+	Rows       []benchRow `json:"rows"`
+}
+
+// runJSON runs the benchmark smoke suite — the paper-query workload at CI-
+// friendly sizes — and writes ns/op rows as JSON to path. Unlike the E1..E13
+// tables it is meant for artifact diffing across commits, so names are
+// stable identifiers.
+func (r *runner) runJSON(path string) error {
+	paperQ := `for $line in /Order/OrderLine
+	           where $line/SellersID eq "1"
+	           return <lineItem>{string($line/Item/ID)}</lineItem>`
+	orders := xqgo.FromStore(workload.Orders(workload.OrdersConfig{Lines: 10000, Sellers: 50, Seed: 1}))
+	deepStore := workload.Deep(workload.DeepConfig{Nodes: 30000, Seed: 2})
+	deep := xqgo.FromStore(deepStore)
+
+	stream := mustCompile(paperQ, nil)
+	eager := mustCompile(paperQ, &xqgo.Options{Engine: xqgo.Eager, NoOptimize: true})
+	pathQ := mustCompile(`/Order/OrderLine/Item/ID`, nil)
+	descQ := mustCompile(`count(//a//b)`, nil)
+	joinQ := mustCompile(`count(//a//b)`, &xqgo.Options{UseStructuralJoins: true})
+
+	// Warm the structural-join index cache so the row measures the join.
+	joinCtx := ctxFor(deep)
+	mustEval(joinQ, joinCtx)
+
+	bench := []struct {
+		name string
+		fn   func()
+	}{
+		{"paper-query/stream-full", func() { mustEval(stream, ctxFor(orders)) }},
+		{"paper-query/eager-full", func() { mustEval(eager, ctxFor(orders)) }},
+		{"paper-query/stream-serialize", func() {
+			if err := stream.Execute(ctxFor(orders), io.Discard); err != nil {
+				panic(err)
+			}
+		}},
+		{"paper-query/first-10", func() {
+			it, err := stream.Iterator(ctxFor(orders))
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, ok, err := it.Next(); err != nil || !ok {
+					break
+				}
+			}
+		}},
+		{"path/child-steps", func() { mustEval(pathQ, ctxFor(orders)) }},
+		{"path/descendant-nav", func() { mustEval(descQ, ctxFor(deep)) }},
+		{"path/descendant-structjoin", func() { mustEval(joinQ, joinCtx) }},
+	}
+
+	rep := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       r.reps,
+	}
+	for _, b := range bench {
+		d := r.timeIt(b.fn)
+		rep.Rows = append(rep.Rows, benchRow{Name: b.name, NsPerOp: d.Nanoseconds()})
+		fmt.Fprintf(os.Stderr, "xqbench: %-32s %12d ns/op\n", b.name, d.Nanoseconds())
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

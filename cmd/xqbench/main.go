@@ -25,11 +25,19 @@ import (
 
 func main() {
 	var (
-		only = flag.String("only", "", "run one experiment: e1..e13")
-		reps = flag.Int("reps", 3, "timing repetitions (median reported)")
+		only     = flag.String("only", "", "run one experiment: e1..e13")
+		reps     = flag.Int("reps", 3, "timing repetitions (median reported)")
+		jsonPath = flag.String("json", "", "run the benchmark smoke suite and write ns/op rows as JSON to this file (skips the experiment tables)")
 	)
 	flag.Parse()
 	r := &runner{reps: *reps, w: os.Stdout}
+	if *jsonPath != "" {
+		if err := r.runJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "xqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id   string

@@ -9,7 +9,13 @@
 //	xqd -addr :8090 -doc orders=orders.xml -joins
 //	curl -X PUT --data-binary @bib.xml localhost:8090/documents/bib
 //	curl -d '{"query":"count(/bib/book)","doc":"bib"}' localhost:8090/query
+//	curl -d '{"query":"count(/bib/book)","doc":"bib"}' 'localhost:8090/query?explain=1'
 //	curl localhost:8090/stats
+//	curl localhost:8090/metrics   # Prometheus text exposition
+//	curl localhost:8090/slow      # slow-query log with execution profiles
+//
+// With -pprof 127.0.0.1:6060, net/http/pprof is served on that separate
+// address only — never on the public listener.
 //
 // The bound address is printed on startup (use -addr 127.0.0.1:0 to pick a
 // free port).
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -40,6 +47,10 @@ func main() {
 		memo      = flag.Bool("memo", false, "memoize pure user-function calls within each execution")
 		stripWS   = flag.Bool("strip-ws", false, "drop whitespace-only text nodes when parsing documents")
 		poolText  = flag.Bool("pool-text", false, "dictionary-pool repeated text values when parsing documents")
+		slowAfter = flag.Duration("slow-threshold", 250*time.Millisecond, "log queries slower than this to GET /slow (0 = default, negative = disabled)")
+		slowSize  = flag.Int("slow-log", 64, "slow-query log ring capacity")
+		noProf    = flag.Bool("no-profiling", false, "disable background engine-counter profiling (explain=1 still profiles)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); never exposed on the public listener")
 	)
 	var docs multiFlag
 	flag.Var(&docs, "doc", "preload document: name=file.xml (repeatable)")
@@ -56,6 +67,9 @@ func main() {
 		PlanCacheSize:  *planCache,
 		DefaultTimeout: *timeout,
 		MaxResultBytes: *maxResult,
+		SlowQueryThreshold: *slowAfter,
+		SlowLogSize:        *slowSize,
+		DisableProfiling:   *noProf,
 		Options: xqgo.Options{
 			UseStructuralJoins: *joins,
 			MemoizeFunctions:   *memo,
@@ -81,6 +95,28 @@ func main() {
 			fatal(fmt.Errorf("-doc %s: %v", spec, err))
 		}
 		fmt.Fprintf(os.Stderr, "xqd: loaded %s: %d bytes, %d nodes\n", name, info.Bytes, info.Nodes)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own (typically loopback) listener so
+		// profiling endpoints are never reachable through the public address.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-pprof: %v", err))
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "xqd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: pmux}
+			if err := psrv.Serve(pln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "xqd: pprof server:", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -41,6 +41,9 @@ type Options struct {
 	Disabled map[string]bool
 	// MaxPasses bounds the fixpoint iteration (default 4).
 	MaxPasses int
+	// Trace, when non-nil, records every rule application (fire counts and
+	// bounded before/after summaries) for explain output.
+	Trace *Trace
 }
 
 // Disable returns Options with the given rules off.
@@ -101,7 +104,7 @@ func Optimize(q *expr.Query, opts Options) *expr.Query {
 		}
 	}
 	if o.on(RuleNoNodeIDs) {
-		q.Body = markOutputConstructors(q.Body)
+		q.Body = o.markOutputConstructors(q.Body)
 	}
 	return q
 }
@@ -124,41 +127,49 @@ func (o *optimizer) pass(e expr.Expr) expr.Expr {
 	return expr.Rewrite(e, func(x expr.Expr) expr.Expr {
 		if o.on(RuleConstFold) {
 			if r := constFold(x); r != nil {
+				o.opts.Trace.record(RuleConstFold, x, r)
 				return r
 			}
 		}
 		if o.on(RuleFnInline) {
 			if r := o.inlineCall(x); r != nil {
+				o.opts.Trace.record(RuleFnInline, x, r)
 				return r
 			}
 		}
 		if o.on(RuleFlworUnnest) {
 			if r := unnestFlwor(x); r != nil {
+				o.opts.Trace.record(RuleFlworUnnest, x, r)
 				return r
 			}
 		}
 		if o.on(RuleForMin) {
 			if r := minimizeFor(x); r != nil {
+				o.opts.Trace.record(RuleForMin, x, r)
 				return r
 			}
 		}
 		if o.on(RuleLetFold) {
 			if r := o.foldLets(x); r != nil {
+				o.opts.Trace.record(RuleLetFold, x, r)
 				return r
 			}
 		}
 		if o.on(RuleCSE) {
 			if r := o.factorCSE(x); r != nil {
+				o.opts.Trace.record(RuleCSE, x, r)
 				return r
 			}
 		}
 		if o.on(RuleParentElim) {
 			if r := elimParent(x); r != nil {
+				o.opts.Trace.record(RuleParentElim, x, r)
 				return r
 			}
 		}
 		if o.on(RuleTypeRewrite) {
 			if r := typeRewrite(x); r != nil {
+				o.opts.Trace.record(RuleTypeRewrite, x, r)
 				return r
 			}
 		}

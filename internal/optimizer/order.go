@@ -29,6 +29,9 @@ func (o *optimizer) annotatePathOrder(e expr.Expr, env map[string]expr.OrderProp
 		props := expr.Props(&out, lookup)
 		if props.Sorted && props.Distinct {
 			out.NoReorder = true
+			if !n.NoReorder {
+				o.opts.Trace.note(RulePathOrder, summarize(&out), "sort/dedup elided (NoReorder)")
+			}
 		}
 		return &out
 
@@ -113,41 +116,44 @@ func (o *optimizer) annotatePathOrder(e expr.Expr, env map[string]expr.OrderProp
 // their trees can be emitted as tokens with no identity assignment. The
 // runtime falls back to materializing when such a node is navigated after
 // all, so the marking only needs to be plausible, not proven.
-func markOutputConstructors(e expr.Expr) expr.Expr {
+func (o *optimizer) markOutputConstructors(e expr.Expr) expr.Expr {
 	switch n := e.(type) {
 	case *expr.ElemConstructor:
 		out := *n
 		out.NoNodeIDs = true
+		if !n.NoNodeIDs {
+			o.opts.Trace.note(RuleNoNodeIDs, summarize(n), "constructor streams without node ids")
+		}
 		// Content expressions are emitted through the streaming path too;
 		// mark nested constructors recursively.
 		out.Content = append([]expr.Expr(nil), n.Content...)
 		for i := range out.Content {
-			out.Content[i] = markOutputConstructors(out.Content[i])
+			out.Content[i] = o.markOutputConstructors(out.Content[i])
 		}
 		return &out
 	case *expr.Seq:
 		out := *n
 		out.Items = append([]expr.Expr(nil), n.Items...)
 		for i := range out.Items {
-			out.Items[i] = markOutputConstructors(out.Items[i])
+			out.Items[i] = o.markOutputConstructors(out.Items[i])
 		}
 		return &out
 	case *expr.Flwor:
 		out := *n
-		out.Ret = markOutputConstructors(n.Ret)
+		out.Ret = o.markOutputConstructors(n.Ret)
 		return &out
 	case *expr.If:
 		out := *n
-		out.Then = markOutputConstructors(n.Then)
-		out.Else = markOutputConstructors(n.Else)
+		out.Then = o.markOutputConstructors(n.Then)
+		out.Else = o.markOutputConstructors(n.Else)
 		return &out
 	case *expr.Typeswitch:
 		out := *n
 		out.Cases = append([]expr.TSCase(nil), n.Cases...)
 		for i := range out.Cases {
-			out.Cases[i].Body = markOutputConstructors(out.Cases[i].Body)
+			out.Cases[i].Body = o.markOutputConstructors(out.Cases[i].Body)
 		}
-		out.Default = markOutputConstructors(n.Default)
+		out.Default = o.markOutputConstructors(n.Default)
 		return &out
 	}
 	return e

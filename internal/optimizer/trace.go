@@ -1,0 +1,91 @@
+package optimizer
+
+import (
+	"strings"
+
+	"xqgo/internal/expr"
+)
+
+// A Trace records which rewrite rules fired during an optimization run:
+// per-rule fire counts plus a bounded list of before/after expression
+// summaries. Attach one via Options.Trace; a nil Trace records nothing and
+// every recording method is nil-safe, so rule code never guards explicitly.
+
+// TraceEvent is one recorded rule application.
+type TraceEvent struct {
+	Rule   string `json:"rule"`
+	Before string `json:"before"`
+	After  string `json:"after"`
+}
+
+// maxTraceEvents bounds the per-run event list; fire counts keep counting
+// past the cap (Dropped reports the overflow).
+const maxTraceEvents = 128
+
+// Trace accumulates rewrite events for one Optimize call. Not safe for
+// concurrent use; optimization is single-threaded.
+type Trace struct {
+	events  []TraceEvent
+	fires   map[string]int
+	dropped int
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{fires: map[string]int{}} }
+
+// record notes that rule rewrote before into after.
+func (t *Trace) record(rule string, before, after expr.Expr) {
+	t.note(rule, summarize(before), summarize(after))
+}
+
+// note is record with pre-rendered summaries (used by the annotation rules
+// whose "after" is a flag set on the same expression).
+func (t *Trace) note(rule, before, after string) {
+	if t == nil {
+		return
+	}
+	t.fires[rule]++
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{Rule: rule, Before: before, After: after})
+}
+
+// Events returns the recorded events in application order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Fires returns a copy of the per-rule fire counts (only fired rules appear).
+func (t *Trace) Fires() map[string]int {
+	if t == nil || len(t.fires) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(t.fires))
+	for k, v := range t.fires {
+		out[k] = v
+	}
+	return out
+}
+
+// Dropped reports how many events were discarded after the cap was reached.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// summarize renders a compact single-line expression summary for trace
+// events.
+func summarize(e expr.Expr) string {
+	s := strings.Join(strings.Fields(expr.String(e)), " ")
+	if r := []rune(s); len(r) > 80 {
+		s = string(r[:77]) + "..."
+	}
+	return s
+}

@@ -25,6 +25,10 @@ type Options struct {
 	// Parallel evaluates independent heavy branches of comma sequences
 	// concurrently (the paper's horizontal parallelization).
 	Parallel bool
+	// NoProfileHooks compiles the plan without profiling tag wrappers.
+	// Plans compiled this way cannot be profiled (NewProfile reports no
+	// operators) but carry zero instrumentation code.
+	NoProfileHooks bool
 }
 
 // seqFn is a compiled expression: evaluate against a frame, get an iterator.
@@ -36,6 +40,7 @@ type Prepared struct {
 	body    seqFn
 	globals []globalDef
 	query   *expr.Query
+	ops     []OpInfo // tagged operators, in compile order
 }
 
 type globalDef struct {
@@ -58,6 +63,7 @@ type compiler struct {
 	scopes []map[string]int
 	nextID int
 	funcs  map[string]*userFunc // key: clark name + "/" + arity
+	ops    []OpInfo             // operators tagged so far (profiling ids)
 }
 
 // Compile compiles a parsed query for the given engine options.
@@ -116,6 +122,7 @@ func Compile(q *expr.Query, opts Options) (*Prepared, error) {
 		return nil, err
 	}
 	p.body = body
+	p.ops = c.ops
 	return p, nil
 }
 
@@ -781,7 +788,7 @@ func (c *compiler) compileSetOp(n *expr.SetOp) (seqFn, error) {
 		return nil, err
 	}
 	op := n.Op
-	return func(fr *Frame) Iter {
+	fn := func(fr *Frame) Iter {
 		lseq, err := drain(lf(fr))
 		if err != nil {
 			return errIter(err)
@@ -806,7 +813,8 @@ func (c *compiler) compileSetOp(n *expr.SetOp) (seqFn, error) {
 			out = mergeByDocOrder(lseq, rseq, true, false, false)
 		}
 		return newSliceIter(out)
-	}, nil
+	}
+	return c.tag("set-op", n, fn), nil
 }
 
 // funcCreatesNodes resolves the paper's "can this call create new nodes?"

@@ -20,6 +20,14 @@ const (
 )
 
 func (c *compiler) compileCall(n *expr.Call) (seqFn, error) {
+	fn, err := c.compileCallRaw(n)
+	if err != nil {
+		return nil, err
+	}
+	return c.tag("call "+n.Name.String(), n, fn), nil
+}
+
+func (c *compiler) compileCallRaw(n *expr.Call) (seqFn, error) {
 	// User-declared function?
 	if uf, ok := c.funcs[funcKey(n.Name, len(n.Args))]; ok {
 		return c.compileUserCall(n, uf)
@@ -257,8 +265,10 @@ func (c *compiler) compileMemoizedCall(n *expr.Call, uf *userFunc, argFns []seqF
 		key, cachable := memoKey(fkey, args)
 		if cachable {
 			if hit, ok := fr.dyn.memo.get(key); ok {
+				fr.dyn.Prof.addMemoHit()
 				return newSliceIter(hit)
 			}
+			fr.dyn.Prof.addMemoMiss()
 		}
 		f2 := fr.barrier()
 		for i := range args {

@@ -219,6 +219,7 @@ func evalConstructor(cc *compiledConstructor, fr *Frame) (xdm.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	fr.dyn.Prof.addNodesMaterialized(1)
 	return doc.RootNode(), nil
 }
 

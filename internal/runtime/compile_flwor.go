@@ -100,7 +100,7 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 	}
 
 	if len(orderKeys) == 0 {
-		return func(fr *Frame) Iter {
+		fn := func(fr *Frame) Iter {
 			tuples := makeTuples(fr)
 			var cur Iter
 			return iterFunc(func() (xdm.Item, bool, error) {
@@ -125,11 +125,12 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 					cur = nil
 				}
 			})
-		}, nil
+		}
+		return c.tag("flwor", n, fn), nil
 	}
 
 	// Order-by path: materialize tuples and their keys.
-	return func(fr *Frame) Iter {
+	fn := func(fr *Frame) Iter {
 		tuples := makeTuples(fr)
 		type sortable struct {
 			frame *Frame
@@ -212,7 +213,8 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 				cur = nil
 			}
 		})
-	}, nil
+	}
+	return c.tag("flwor", n, fn), nil
 }
 
 // compareKeys orders two order-by keys; empty sequences order per
@@ -388,7 +390,7 @@ func (c *compiler) compileQuantified(n *expr.Quantified) (seqFn, error) {
 		return nil, err
 	}
 	every := n.Every
-	return func(fr *Frame) Iter {
+	fn := func(fr *Frame) Iter {
 		tuples := baseTuple(fr)
 		for i := range binds {
 			cl := compiledClause{kind: expr.ForClause, varID: binds[i].id, posID: -1, in: binds[i].in}
@@ -414,7 +416,8 @@ func (c *compiler) compileQuantified(n *expr.Quantified) (seqFn, error) {
 				return singleIter(xdm.False)
 			}
 		}
-	}, nil
+	}
+	return c.tag("quantified", n, fn), nil
 }
 
 // applyClauseQ is applyClause for a value clause (quantifiers have no

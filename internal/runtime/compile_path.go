@@ -19,16 +19,19 @@ func (c *compiler) compilePath(n *expr.Path) (seqFn, error) {
 		return nil, err
 	}
 	if joined, ok := c.compileIndexedPath(n); ok {
+		// Tag the two strategies separately so a profile shows which one ran.
+		joined = c.tag("path[struct-join]", n, joined)
+		nav := c.tag("path", n, navFn)
 		return func(fr *Frame) Iter {
 			if it, haveCtx := fr.ContextItem(); haveCtx {
 				if _, isStore := it.(*store.Node); isStore {
 					return joined(fr)
 				}
 			}
-			return navFn(fr) // non-store contexts fall back to navigation
+			return nav(fr) // non-store contexts fall back to navigation
 		}, nil
 	}
-	return navFn, nil
+	return c.tag("path", n, navFn), nil
 }
 
 // compileNavPath is the navigation implementation of a path expression.
@@ -371,7 +374,7 @@ func (c *compiler) compileFilter(n *expr.Filter) (seqFn, error) {
 			})
 		}
 	}
-	return cur, nil
+	return c.tag("filter", n, cur), nil
 }
 
 // evalPredicate decides a predicate: a single numeric result is a position

@@ -37,6 +37,11 @@ type Dynamic struct {
 	// middle of an aggregate that never yields an item to the caller.
 	Interrupt func() error
 
+	// Prof, when non-nil, collects execution statistics (see Profile). The
+	// engine only ever nil-checks this pointer on the hot path, so leaving
+	// it nil keeps profiling free.
+	Prof *Profile
+
 	once    sync.Once
 	nowAtom xdm.Atomic
 	indexes indexCache
@@ -60,6 +65,7 @@ func (d *Dynamic) CheckInterrupt() error {
 	if d.steps.Add(1)%interruptStride != 0 {
 		return nil
 	}
+	d.Prof.addInterruptPoll()
 	return d.Interrupt()
 }
 

@@ -76,6 +76,9 @@ func (p *Prepared) Eval(dyn *Dynamic) (seq xdm.Sequence, err error) {
 			if merr != nil {
 				return nil, merr
 			}
+			if dyn != nil {
+				dyn.Prof.addNodesMaterialized(1)
+			}
 			out[i] = m
 		}
 	}
@@ -104,6 +107,14 @@ func (p *Prepared) ExecuteToWriter(dyn *Dynamic, w io.Writer) (err error) {
 		return err
 	}
 	sw := tokens.NewStreamWriter(w)
+	write := sw.WriteToken
+	if dyn != nil && dyn.Prof != nil {
+		prof := dyn.Prof
+		write = func(t tokens.Token) error {
+			prof.addXMLTokens(1)
+			return sw.WriteToken(t)
+		}
+	}
 	prevAtomic := false
 	for {
 		if dyn != nil {
@@ -121,22 +132,22 @@ func (p *Prepared) ExecuteToWriter(dyn *Dynamic, w io.Writer) (err error) {
 		switch n := item.(type) {
 		case *StreamedNode:
 			prevAtomic = false
-			if err := n.EmitTokens(sw.WriteToken); err != nil {
+			if err := n.EmitTokens(write); err != nil {
 				return err
 			}
 		case xdm.Node:
 			prevAtomic = false
-			if err := emitStoredNode(n, sw.WriteToken); err != nil {
+			if err := emitStoredNode(n, write); err != nil {
 				return err
 			}
 		default:
 			a := item.(xdm.Atomic)
 			if prevAtomic {
-				if err := sw.WriteToken(tokens.Token{Kind: tokens.KindText, Value: " "}); err != nil {
+				if err := write(tokens.Token{Kind: tokens.KindText, Value: " "}); err != nil {
 					return err
 				}
 			}
-			if err := sw.WriteToken(tokens.Token{Kind: tokens.KindAtomic, Atom: a}); err != nil {
+			if err := write(tokens.Token{Kind: tokens.KindAtomic, Atom: a}); err != nil {
 				return err
 			}
 			prevAtomic = true

@@ -33,18 +33,20 @@ func (c *indexCache) seed(d *store.Document, idx *structjoin.Index) {
 	c.idxs[d] = idx
 }
 
-func (c *indexCache) indexFor(d *store.Document) *structjoin.Index {
+// indexFor returns the index for a document, building it on first use.
+// built reports whether this call performed the build (vs a cache hit).
+func (c *indexCache) indexFor(d *store.Document) (idx *structjoin.Index, built bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.idxs == nil {
 		c.idxs = make(map[*store.Document]*structjoin.Index)
 	}
 	if idx, ok := c.idxs[d]; ok {
-		return idx
+		return idx, false
 	}
-	idx := structjoin.BuildIndex(d)
+	idx = structjoin.BuildIndex(d)
 	c.idxs[d] = idx
-	return idx
+	return idx, true
 }
 
 // joinStep is one step of an extracted join chain.
@@ -165,7 +167,12 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 		if !isStore {
 			return nil // handled by caller fallback — should not happen
 		}
-		idx := fr.dyn.indexes.indexFor(sn.D)
+		idx, built := fr.dyn.indexes.indexFor(sn.D)
+		if built {
+			fr.dyn.Prof.addIndexBuild()
+		} else {
+			fr.dyn.Prof.addIndexHit()
+		}
 
 		// Seed: postings of the first chain name (its edge from the root is
 		// checked only when childOnly: level 1 under the document node).
@@ -180,6 +187,7 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 			cur = filtered
 		}
 		for _, s := range chain[1:] {
+			fr.dyn.Prof.addStructJoin()
 			pairs := structjoin.StackTreeDesc(cur, idx.Elements(s.name), s.childOnly)
 			cur = structjoin.DistinctDescendants(pairs)
 			if len(cur) == 0 {

@@ -1,0 +1,246 @@
+package runtime
+
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+)
+
+// Execution profiling. Operators are tagged at compile time with stable ids
+// and source positions; a Profile attached to a Dynamic collects per-operator
+// counters plus engine-wide totals for one execution. The design is
+// zero-cost-when-off at two levels:
+//
+//   - Options.NoProfileHooks elides the tag wrappers entirely at compile
+//     time, so a plan compiled for pure throughput carries no profiling code
+//     at all (the benchmark-guard baseline).
+//   - With hooks compiled in but Dynamic.Prof == nil (the default), each
+//     operator instantiation pays one closure call plus one nil pointer
+//     check — nothing per pulled item.
+//
+// All counters are atomic: the Parallel engine shares one Dynamic (and hence
+// one Profile) across branch goroutines.
+
+// OpInfo identifies one tagged operator of a compiled plan.
+type OpInfo struct {
+	ID     int    `json:"id"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+}
+
+// opCounters are the per-operator statistics of one execution.
+type opCounters struct {
+	starts atomic.Int64 // iterator instantiations
+	items  atomic.Int64 // items produced
+	nanos  atomic.Int64 // cumulative wall time inside Next (timed mode only)
+}
+
+// engineCounters are execution-wide totals maintained by engine internals.
+type engineCounters struct {
+	xmlTokens         atomic.Int64
+	nodesMaterialized atomic.Int64
+	memoHits          atomic.Int64
+	memoMisses        atomic.Int64
+	indexHits         atomic.Int64
+	indexBuilds       atomic.Int64
+	structJoins       atomic.Int64
+	interruptPolls    atomic.Int64
+}
+
+// Profile collects execution statistics for one execution of a Prepared
+// query. Create one with Prepared.NewProfile and attach it to the Dynamic
+// before executing; read it with Report afterwards. A Profile must not be
+// reused across Prepared plans (operator ids are plan-specific), but may be
+// shared by concurrent executions of the same plan to aggregate them.
+type Profile struct {
+	timed bool
+	infos []OpInfo
+	ops   []opCounters
+	c     engineCounters
+}
+
+// NewProfile creates a profile sized for this plan's tagged operators. With
+// timed set, every instrumented Next call is wall-clock timed (use for
+// explain output); without, only counters are maintained (the cheap mode the
+// service layer uses for always-on accounting). Per-operator times are
+// inclusive: a FLWOR's time contains the time of the operators it pulls from.
+func (p *Prepared) NewProfile(timed bool) *Profile {
+	return &Profile{timed: timed, infos: p.ops, ops: make([]opCounters, len(p.ops))}
+}
+
+// instrument wraps an operator's iterator with counting (and, in timed mode,
+// wall-clock timing).
+func (p *Profile) instrument(id int, src Iter) Iter {
+	op := &p.ops[id]
+	op.starts.Add(1)
+	if !p.timed {
+		return iterFunc(func() (xdm.Item, bool, error) {
+			it, ok, err := src.Next()
+			if ok {
+				op.items.Add(1)
+			}
+			return it, ok, err
+		})
+	}
+	return iterFunc(func() (xdm.Item, bool, error) {
+		t0 := time.Now()
+		it, ok, err := src.Next()
+		op.nanos.Add(int64(time.Since(t0)))
+		if ok {
+			op.items.Add(1)
+		}
+		return it, ok, err
+	})
+}
+
+// The engine-counter adders below are nil-safe so call sites on the hot path
+// stay a single method call guarding on the receiver.
+
+func (p *Profile) addXMLTokens(n int64) {
+	if p != nil {
+		p.c.xmlTokens.Add(n)
+	}
+}
+
+func (p *Profile) addNodesMaterialized(n int64) {
+	if p != nil {
+		p.c.nodesMaterialized.Add(n)
+	}
+}
+
+func (p *Profile) addMemoHit() {
+	if p != nil {
+		p.c.memoHits.Add(1)
+	}
+}
+
+func (p *Profile) addMemoMiss() {
+	if p != nil {
+		p.c.memoMisses.Add(1)
+	}
+}
+
+func (p *Profile) addIndexHit() {
+	if p != nil {
+		p.c.indexHits.Add(1)
+	}
+}
+
+func (p *Profile) addIndexBuild() {
+	if p != nil {
+		p.c.indexBuilds.Add(1)
+	}
+}
+
+func (p *Profile) addStructJoin() {
+	if p != nil {
+		p.c.structJoins.Add(1)
+	}
+}
+
+func (p *Profile) addInterruptPoll() {
+	if p != nil {
+		p.c.interruptPolls.Add(1)
+	}
+}
+
+// OpReport is the per-operator row of a profile report.
+type OpReport struct {
+	ID     int    `json:"id"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Starts int64  `json:"starts"`
+	Items  int64  `json:"items"`
+	Nanos  int64  `json:"nanos,omitempty"`
+}
+
+// CounterReport is the engine-wide counter section of a profile report.
+type CounterReport struct {
+	XMLTokens         int64 `json:"xmlTokens"`
+	NodesMaterialized int64 `json:"nodesMaterialized"`
+	MemoHits          int64 `json:"memoHits"`
+	MemoMisses        int64 `json:"memoMisses"`
+	IndexHits         int64 `json:"indexHits"`
+	IndexBuilds       int64 `json:"indexBuilds"`
+	StructJoins       int64 `json:"structJoins"`
+	InterruptPolls    int64 `json:"interruptPolls"`
+}
+
+// Report is a point-in-time snapshot of a Profile.
+type Report struct {
+	Timed     bool          `json:"timed"`
+	Operators []OpReport    `json:"operators"`
+	Counters  CounterReport `json:"counters"`
+}
+
+// Report snapshots the profile. Only operators that actually started at
+// least once are included; rows appear in compile (plan) order.
+func (p *Profile) Report() Report {
+	rep := Report{Timed: p.timed}
+	for i := range p.ops {
+		op := &p.ops[i]
+		starts := op.starts.Load()
+		if starts == 0 {
+			continue
+		}
+		info := p.infos[i]
+		rep.Operators = append(rep.Operators, OpReport{
+			ID: info.ID, Kind: info.Kind, Detail: info.Detail,
+			Line: info.Line, Col: info.Col,
+			Starts: starts, Items: op.items.Load(), Nanos: op.nanos.Load(),
+		})
+	}
+	rep.Counters = CounterReport{
+		XMLTokens:         p.c.xmlTokens.Load(),
+		NodesMaterialized: p.c.nodesMaterialized.Load(),
+		MemoHits:          p.c.memoHits.Load(),
+		MemoMisses:        p.c.memoMisses.Load(),
+		IndexHits:         p.c.indexHits.Load(),
+		IndexBuilds:       p.c.indexBuilds.Load(),
+		StructJoins:       p.c.structJoins.Load(),
+		InterruptPolls:    p.c.interruptPolls.Load(),
+	}
+	return rep
+}
+
+// Operators returns the plan's tagged operator inventory (empty when the
+// plan was compiled with NoProfileHooks).
+func (p *Prepared) Operators() []OpInfo { return p.ops }
+
+// tag registers an operator under a stable id and wraps its compiled form
+// with the profiling hook. With NoProfileHooks the function is returned
+// untouched and no id is allocated.
+func (c *compiler) tag(kind string, e expr.Expr, fn seqFn) seqFn {
+	if c.opts.NoProfileHooks {
+		return fn
+	}
+	id := len(c.ops)
+	pos := e.Span()
+	c.ops = append(c.ops, OpInfo{
+		ID: id, Kind: kind, Detail: exprSummary(e), Line: pos.Line, Col: pos.Col,
+	})
+	return func(fr *Frame) Iter {
+		p := fr.dyn.Prof
+		if p == nil {
+			return fn(fr)
+		}
+		return p.instrument(id, fn(fr))
+	}
+}
+
+// exprSummary renders a compact single-line summary of an expression for
+// operator rows and rewrite traces.
+func exprSummary(e expr.Expr) string {
+	s := strings.Join(strings.Fields(expr.String(e)), " ")
+	if r := []rune(s); len(r) > 60 {
+		s = string(r[:57]) + "..."
+	}
+	return s
+}

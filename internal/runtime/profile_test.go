@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqgo/internal/xmlparse"
+	"xqgo/internal/xqparse"
+)
+
+func compileProf(t *testing.T, src string, opts Options) *Prepared {
+	t.Helper()
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	p, err := Compile(q, opts)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return p
+}
+
+func TestProfileCountsOperators(t *testing.T) {
+	p := compileProf(t, `for $b in /bib/book where $b/price > 10 return string($b/title)`, Options{})
+	dyn := testDynamic(t)
+	prof := p.NewProfile(true)
+	dyn.Prof = prof
+	if _, err := p.Eval(dyn); err != nil {
+		t.Fatal(err)
+	}
+	rep := prof.Report()
+	active := 0
+	kinds := map[string]bool{}
+	for _, op := range rep.Operators {
+		if op.Starts == 0 {
+			t.Errorf("reported operator %d (%s) never started", op.ID, op.Kind)
+		}
+		if op.Items > 0 {
+			active++
+		}
+		kinds[op.Kind] = true
+		if op.Line == 0 {
+			t.Errorf("operator %d (%s) has no source position", op.ID, op.Kind)
+		}
+	}
+	if active < 3 {
+		t.Errorf("profile has %d operators with items, want >= 3:\n%+v", active, rep.Operators)
+	}
+	if !kinds["flwor"] || !kinds["path"] {
+		t.Errorf("profile kinds = %v, want flwor and path", kinds)
+	}
+	// Timed mode records wall time for at least the outermost operator.
+	total := int64(0)
+	for _, op := range rep.Operators {
+		total += op.Nanos
+	}
+	if !rep.Timed || total == 0 {
+		t.Errorf("timed profile recorded no time (timed=%v, total=%d)", rep.Timed, total)
+	}
+}
+
+func TestProfileUntouchedWhenOff(t *testing.T) {
+	p := compileProf(t, `for $b in /bib/book return $b/title`, Options{})
+	// No profile attached: the run must succeed and instrument nothing.
+	if _, err := p.Eval(testDynamic(t)); err != nil {
+		t.Fatal(err)
+	}
+	prof := p.NewProfile(false)
+	if got := len(prof.Report().Operators); got != 0 {
+		t.Errorf("unattached profile reports %d operators", got)
+	}
+}
+
+func TestProfileNoHooksElidesOperators(t *testing.T) {
+	p := compileProf(t, `for $b in /bib/book return $b/title`, Options{NoProfileHooks: true})
+	if got := len(p.Operators()); got != 0 {
+		t.Errorf("NoProfileHooks compile registered %d operators", got)
+	}
+	dyn := testDynamic(t)
+	prof := p.NewProfile(true)
+	dyn.Prof = prof
+	if _, err := p.Eval(dyn); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prof.Report().Operators); got != 0 {
+		t.Errorf("NoProfileHooks run still profiled %d operators", got)
+	}
+}
+
+// TestProfileConcurrentQueries shares one Profile across parallel executions;
+// under -race this proves the per-operator and engine counters are safe, and
+// the totals prove no update is lost.
+func TestProfileConcurrentQueries(t *testing.T) {
+	p := compileProf(t, `for $b in /bib/book return string($b/title)`, Options{})
+	prof := p.NewProfile(false)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dyn := testDynamic(t)
+			dyn.Prof = prof
+			if _, err := p.Eval(dyn); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var flworItems int64
+	for _, op := range prof.Report().Operators {
+		if op.Kind == "flwor" {
+			flworItems = op.Items
+		}
+	}
+	// testBib has 3 books; every one of the 8 runs returns all of them.
+	if want := int64(3 * workers); flworItems != want {
+		t.Errorf("flwor items = %d, want %d", flworItems, want)
+	}
+}
+
+// TestProfilingOffOverheadGuard asserts the tentpole's zero-cost-when-off
+// claim: with hooks compiled in but no profile attached, the hot path may
+// cost at most 3% over a NoProfileHooks build of the same query.
+func TestProfilingOffOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark guard; skipped in -short")
+	}
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "<book year=\"%d\"><title>t%d</title><price>%d</price></book>",
+			1990+i%30, i, i%150)
+	}
+	sb.WriteString("</bib>")
+	doc, err := xmlparse.ParseString(sb.String(), xmlparse.Options{URI: "guard.xml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = `for $b in /bib/book where $b/price > 75 return $b/title`
+	bare := compileProf(t, src, Options{NoProfileHooks: true})
+	hooked := compileProf(t, src, Options{})
+
+	run := func(p *Prepared) {
+		if _, err := p.Eval(&Dynamic{ContextItem: doc.RootNode()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(p *Prepared) time.Duration {
+		const iters = 40
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < 7; rep++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				run(p)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	measure(bare) // warm-up
+	measure(hooked)
+	var tb, th time.Duration
+	for attempt := 0; attempt < 5; attempt++ {
+		tb = measure(bare)
+		th = measure(hooked)
+		if float64(th) <= float64(tb)*1.03 {
+			return
+		}
+		t.Logf("attempt %d: hooks-on %v vs hooks-off %v", attempt, th, tb)
+	}
+	t.Errorf("profiling-off overhead above 3%%: hooks-on %v vs hooks-off %v", th, tb)
+}

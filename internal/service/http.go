@@ -16,8 +16,11 @@ import (
 //	GET      /documents/{name}   one document's info
 //	DELETE   /documents/{name}   evict a document
 //	POST     /collections/{name} define a collection (body = JSON name list)
-//	POST     /query              run a query (body = queryRequest JSON)
+//	POST     /query              run a query (body = queryRequest JSON);
+//	                             ?explain=1 adds an execution profile
 //	GET      /stats              counters, latency percentiles, cache ratios
+//	GET      /metrics            Prometheus text exposition
+//	GET      /slow               slow-query log (newest first, with profiles)
 //	GET      /healthz            liveness
 func NewHTTPHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -67,6 +70,18 @@ func NewHTTPHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		entries, total := s.SlowQueries()
+		writeJSON(w, http.StatusOK, slowLogResponse{
+			ThresholdMicros: s.cfg.SlowQueryThreshold.Microseconds(),
+			Total:           total,
+			Entries:         entries,
+		})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -84,13 +99,24 @@ type queryRequest struct {
 	// Stream switches to chunked XML output: bytes are written as the
 	// engine produces them (no result materialization server-side).
 	Stream bool `json:"stream,omitempty"`
+	// Explain attaches an execution profile to the response (also
+	// settable as ?explain=1). Ignored for streamed responses.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // queryResponse is the materialized POST /query response.
 type queryResponse struct {
-	Result string `json:"result"`
-	Cached bool   `json:"cached"`
-	Micros int64  `json:"micros"`
+	Result  string          `json:"result"`
+	Cached  bool            `json:"cached"`
+	Micros  int64           `json:"micros"`
+	Profile *ExplainProfile `json:"profile,omitempty"`
+}
+
+// slowLogResponse is the GET /slow envelope.
+type slowLogResponse struct {
+	ThresholdMicros int64       `json:"thresholdMicros"`
+	Total           uint64      `json:"total"`
+	Entries         []SlowEntry `json:"entries"`
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +135,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Vars:           normalizeVars(qr.Vars),
 		Timeout:        time.Duration(qr.TimeoutMs) * time.Millisecond,
 		MaxResultBytes: qr.MaxResultBytes,
+		Explain:        qr.Explain || r.URL.Query().Get("explain") == "1",
 	}
 	if qr.Stream {
 		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
@@ -125,9 +152,10 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Result: res.XML,
-		Cached: res.Cached,
-		Micros: res.Elapsed.Microseconds(),
+		Result:  res.XML,
+		Cached:  res.Cached,
+		Micros:  res.Elapsed.Microseconds(),
+		Profile: res.Profile,
 	})
 }
 

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Prometheus text exposition (stdlib only) for GET /metrics. The histogram
+// is computed from statsCore's fixed buckets — no sorting, no window scan —
+// so scraping stays O(buckets) regardless of traffic.
+
+// WriteMetrics renders every service metric in Prometheus text format
+// (version 0.0.4).
+func (s *Service) WriteMetrics(w io.Writer) {
+	st := s.stats
+	st.mu.Lock()
+	served, errs, rej, to := st.served, st.errors, st.rejected, st.timeouts
+	start := st.start
+	engine := st.engine
+	profiled := st.profiled
+	st.mu.Unlock()
+	buckets, sum, count := st.histogram()
+	docs, bytes, nodes := s.Catalog.Totals()
+	pc := s.plans.Stats()
+	_, slowTotal := s.slow.snapshot()
+
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("xqd_requests_total", "Completed requests by outcome.")
+	fmt.Fprintf(w, "xqd_requests_total{outcome=\"ok\"} %d\n", served)
+	fmt.Fprintf(w, "xqd_requests_total{outcome=\"error\"} %d\n", errs)
+	fmt.Fprintf(w, "xqd_requests_total{outcome=\"rejected\"} %d\n", rej)
+	fmt.Fprintf(w, "xqd_requests_total{outcome=\"timeout\"} %d\n", to)
+
+	fmt.Fprintf(w, "# HELP xqd_request_duration_seconds Service-side request latency (queue wait included; rejections excluded).\n")
+	fmt.Fprintf(w, "# TYPE xqd_request_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"%s\"} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += buckets[len(latBuckets)]
+	fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "xqd_request_duration_seconds_sum %s\n",
+		strconv.FormatFloat(sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "xqd_request_duration_seconds_count %d\n", count)
+
+	gauge("xqd_in_flight_requests", "Queries currently executing.")
+	fmt.Fprintf(w, "xqd_in_flight_requests %d\n", s.exec.InFlight())
+	gauge("xqd_queued_requests", "Requests waiting for a worker slot.")
+	fmt.Fprintf(w, "xqd_queued_requests %d\n", s.exec.Queued())
+	gauge("xqd_worker_slots", "Configured executor worker slots.")
+	fmt.Fprintf(w, "xqd_worker_slots %d\n", s.exec.Workers())
+
+	gauge("xqd_plan_cache_size", "Compiled plans currently cached.")
+	fmt.Fprintf(w, "xqd_plan_cache_size %d\n", pc.Size)
+	gauge("xqd_plan_cache_capacity", "Plan cache LRU capacity.")
+	fmt.Fprintf(w, "xqd_plan_cache_capacity %d\n", pc.Capacity)
+	counter("xqd_plan_cache_hits_total", "Plan cache hits.")
+	fmt.Fprintf(w, "xqd_plan_cache_hits_total %d\n", pc.Hits)
+	counter("xqd_plan_cache_misses_total", "Plan cache misses (compilations).")
+	fmt.Fprintf(w, "xqd_plan_cache_misses_total %d\n", pc.Misses)
+	counter("xqd_plan_cache_evictions_total", "Plan cache LRU evictions.")
+	fmt.Fprintf(w, "xqd_plan_cache_evictions_total %d\n", pc.Evictions)
+
+	gauge("xqd_catalog_documents", "Documents registered in the catalog.")
+	fmt.Fprintf(w, "xqd_catalog_documents %d\n", docs)
+	gauge("xqd_catalog_bytes", "Total source bytes of registered documents.")
+	fmt.Fprintf(w, "xqd_catalog_bytes %d\n", bytes)
+	gauge("xqd_catalog_nodes", "Total stored nodes of registered documents.")
+	fmt.Fprintf(w, "xqd_catalog_nodes %d\n", nodes)
+
+	counter("xqd_slow_queries_total", "Requests exceeding the slow-query threshold.")
+	fmt.Fprintf(w, "xqd_slow_queries_total %d\n", slowTotal)
+	counter("xqd_profiled_requests_total", "Requests that carried an execution profile.")
+	fmt.Fprintf(w, "xqd_profiled_requests_total %d\n", profiled)
+
+	engineCounter := func(name, help string, v int64) {
+		full := "xqd_engine_" + name
+		counter(full, help)
+		fmt.Fprintf(w, "%s %d\n", full, v)
+	}
+	engineCounter("xml_tokens_total", "XML tokens written by result serialization.", engine.XMLTokens)
+	engineCounter("nodes_materialized_total", "Constructed trees materialized by the engine.", engine.NodesMaterialized)
+	engineCounter("memo_hits_total", "Function memoization cache hits.", engine.MemoHits)
+	engineCounter("memo_misses_total", "Function memoization cache misses.", engine.MemoMisses)
+	engineCounter("index_hits_total", "Structural-join index cache hits.", engine.IndexHits)
+	engineCounter("index_builds_total", "Structural-join index builds.", engine.IndexBuilds)
+	engineCounter("struct_joins_total", "Stack-tree structural joins executed.", engine.StructJoins)
+	engineCounter("interrupt_polls_total", "Engine interrupt-hook polls.", engine.InterruptPolls)
+
+	gauge("xqd_uptime_seconds", "Seconds since service start.")
+	fmt.Fprintf(w, "xqd_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(start).Seconds(), 'g', -1, 64))
+}

@@ -32,6 +32,17 @@ type Config struct {
 	Options xqgo.Options
 	// ParseOptions apply when registering documents.
 	ParseOptions xqgo.ParseOptions
+	// SlowQueryThreshold: completed requests slower than this are recorded
+	// in the slow-query log with their full profile (default 250ms;
+	// negative disables the log).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer (default 64 entries).
+	SlowLogSize int
+	// DisableProfiling turns off the always-on counters-only profile
+	// attached to every request (explain=1 requests still profile). With it
+	// set, /metrics engine counters stay zero and slow-log entries carry no
+	// profile.
+	DisableProfiling bool
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +64,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxResultBytes == 0 {
 		c.MaxResultBytes = 32 << 20
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
 	return c
 }
 
@@ -64,6 +81,7 @@ type Service struct {
 	plans   *PlanCache
 	exec    *Executor
 	stats   *statsCore
+	slow    *slowLog
 }
 
 // New creates a service with the given configuration.
@@ -75,6 +93,7 @@ func New(cfg Config) *Service {
 		plans:   NewPlanCache(cfg.PlanCacheSize),
 		exec:    NewExecutor(cfg.Workers, cfg.QueueDepth),
 		stats:   newStatsCore(),
+		slow:    newSlowLog(cfg.SlowLogSize),
 	}
 }
 
@@ -104,6 +123,9 @@ type Request struct {
 	// MaxResultBytes overrides Config.MaxResultBytes when non-zero
 	// (negative = unlimited).
 	MaxResultBytes int64
+	// Explain requests a wall-clock-timed execution profile in the result
+	// (per-operator statistics, engine counters, rewrite trace, plan).
+	Explain bool
 }
 
 // Result is a materialized query response.
@@ -114,7 +136,44 @@ type Result struct {
 	Cached bool
 	// Elapsed is the total service-side latency (queue wait included).
 	Elapsed time.Duration
+	// Profile is the execution profile; non-nil only when Request.Explain
+	// was set.
+	Profile *ExplainProfile
 }
+
+// ExplainProfile is the JSON-ready execution profile attached to explain
+// responses and slow-log entries.
+type ExplainProfile struct {
+	// Timed reports whether per-operator wall time was collected (explain
+	// requests) or only counters (the always-on service default).
+	Timed bool `json:"timed"`
+	// Operators lists per-operator statistics, in plan order; only
+	// operators that ran at least once appear.
+	Operators []xqgo.OpProfile `json:"operators"`
+	// Counters are the execution-wide engine counters.
+	Counters xqgo.EngineCounters `json:"counters"`
+	// Rewrites is the optimizer trace recorded when the plan was compiled.
+	Rewrites []xqgo.RewriteEvent `json:"rewrites,omitempty"`
+	// RuleFires counts optimizer rule applications by rule name.
+	RuleFires map[string]int `json:"ruleFires,omitempty"`
+	// Plan is the optimized expression tree rendering.
+	Plan string `json:"plan,omitempty"`
+}
+
+func explainProfile(q *xqgo.Query, rep xqgo.ProfileReport) *ExplainProfile {
+	return &ExplainProfile{
+		Timed:     rep.Timed,
+		Operators: rep.Operators,
+		Counters:  rep.Counters,
+		Rewrites:  q.RewriteTrace(),
+		RuleFires: q.RuleFires(),
+		Plan:      q.Plan(),
+	}
+}
+
+// SlowQueries returns the retained slow-query log entries (newest first)
+// and the lifetime count of slow requests.
+func (s *Service) SlowQueries() ([]SlowEntry, uint64) { return s.slow.snapshot() }
 
 // ErrResultTooLarge is returned when the serialized result exceeds the
 // per-request byte limit. Streaming responses are truncated at the limit.
@@ -152,21 +211,23 @@ func (l *limitWriter) Write(p []byte) (int, error) {
 // Query runs a request to completion and returns the materialized result.
 func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
 	var buf bytes.Buffer
-	cached, elapsed, err := s.run(ctx, req, &buf)
-	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed}, err
+	cached, elapsed, prof, err := s.run(ctx, req, &buf)
+	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed, Profile: prof}, err
 }
 
 // Execute streams the serialized result to w as it is produced (the
 // engine's time-to-first-answer path). The plan-cache flag is returned;
 // errors after the first byte reach the caller with the output truncated.
+// Request.Explain is ignored (a streamed body has no profile envelope).
 func (s *Service) Execute(ctx context.Context, req Request, w io.Writer) (bool, error) {
-	cached, _, err := s.run(ctx, req, w)
+	req.Explain = false
+	cached, _, _, err := s.run(ctx, req, w)
 	return cached, err
 }
 
 // run is the shared request path: admission control, deadline, plan-cache
-// lookup, per-request context assembly, execution, stats.
-func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, err error) {
+// lookup, per-request context assembly, execution, stats, profiling.
+func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, eprof *ExplainProfile, err error) {
 	start := time.Now()
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -175,16 +236,30 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	var q *xqgo.Query
+	var prof *xqgo.Profile
 	err = s.exec.Do(rctx, func() error {
 		opts := s.cfg.Options
-		q, fromCache, cerr := s.plans.Get(req.Query, &opts)
+		plan, fromCache, cerr := s.plans.Get(req.Query, &opts)
 		cached = fromCache
 		if cerr != nil {
 			return &BadRequestError{Err: cerr}
 		}
+		q = plan
 		qctx, berr := s.buildContext(rctx, req)
 		if berr != nil {
 			return berr
+		}
+		// Explain requests pay for per-pull timing; otherwise a cheap
+		// counters-only profile feeds /metrics and the slow-query log.
+		switch {
+		case req.Explain:
+			prof = q.NewProfile()
+		case !s.cfg.DisableProfiling:
+			prof = q.NewCountersProfile()
+		}
+		if prof != nil {
+			qctx.WithProfile(prof)
 		}
 		limit := req.MaxResultBytes
 		if limit == 0 {
@@ -196,8 +271,24 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 		return q.Execute(qctx, &limitWriter{w: w, rem: limit})
 	})
 	elapsed = time.Since(start)
-	s.stats.observe(classify(err), elapsed)
-	return cached, elapsed, err
+	oc := classify(err)
+	s.stats.observe(oc, elapsed)
+	if prof != nil {
+		rep := prof.Report()
+		s.stats.addEngine(rep.Counters)
+		ep := explainProfile(q, rep)
+		if req.Explain {
+			eprof = ep
+		}
+		if s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold && oc != outcomeRejected {
+			s.slow.add(SlowEntry{
+				Time: time.Now(), Query: req.Query, Doc: req.ContextDoc,
+				Micros: elapsed.Microseconds(), Outcome: oc.String(),
+				Cached: cached, Profile: ep,
+			})
+		}
+	}
+	return cached, elapsed, eprof, err
 }
 
 func classify(err error) outcome {

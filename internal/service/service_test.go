@@ -371,11 +371,15 @@ func TestStatsPercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		st.observe(outcomeOK, time.Duration(i)*time.Millisecond)
 	}
-	p50, p99 := st.percentiles()
-	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
-		t.Errorf("p50 = %v", p50)
+	p50, p90, p99 := st.percentiles()
+	// Nearest-rank over 1..100ms is exact: ceil(p*100) milliseconds.
+	if p50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", p50)
 	}
-	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
-		t.Errorf("p99 = %v", p99)
+	if p90 != 90*time.Millisecond {
+		t.Errorf("p90 = %v, want 90ms", p90)
+	}
+	if p99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", p99)
 	}
 }

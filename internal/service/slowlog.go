@@ -1,0 +1,76 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// The slow-query log: a fixed-capacity ring of the most recent requests
+// whose total latency exceeded Config.SlowQueryThreshold, each carrying the
+// full execution profile captured for that request. Served at GET /slow.
+
+// SlowEntry is one recorded slow request.
+type SlowEntry struct {
+	// Time is when the request completed.
+	Time time.Time `json:"time"`
+	// Query is the request's XQuery source text.
+	Query string `json:"query"`
+	// Doc is the context document, when one was named.
+	Doc string `json:"doc,omitempty"`
+	// Micros is the total service-side latency (queue wait included).
+	Micros int64 `json:"micros"`
+	// Outcome is ok, error or timeout (rejections are never logged: they
+	// carry no execution).
+	Outcome string `json:"outcome"`
+	// Cached reports whether the plan came from the plan cache.
+	Cached bool `json:"cached"`
+	// Profile is the execution profile, when profiling was enabled.
+	Profile *ExplainProfile `json:"profile,omitempty"`
+}
+
+// slowLog is the mutex-guarded ring buffer behind GET /slow.
+type slowLog struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []SlowEntry
+	next  int    // overwrite position once the ring is full
+	total uint64 // slow requests ever observed (eviction-independent)
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &slowLog{cap: capacity}
+}
+
+// add records a slow request, evicting the oldest entry once full.
+func (l *slowLog) add(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// snapshot returns the retained entries newest-first plus the lifetime
+// total. Nil-safe so Stats can be called on a zero service in tests.
+func (l *slowLog) snapshot() ([]SlowEntry, uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.buf))
+	// The ring holds entries in insertion order starting at next (once
+	// full); walk backward from the most recent insertion.
+	for i := 0; i < len(l.buf); i++ {
+		idx := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		out = append(out, l.buf[idx])
+	}
+	return out, l.total
+}

@@ -1,18 +1,44 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"xqgo"
 )
 
 // latWindow is the sliding window of recent request latencies kept for
 // percentile estimation.
 const latWindow = 2048
 
+// latBuckets are the cumulative-histogram upper bounds (seconds) used by the
+// Prometheus exposition: roughly logarithmic from 500µs to 10s, the range a
+// query service actually spans. Observations above the last bound land in
+// the implicit +Inf bucket.
+var latBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// engineTotals aggregates the per-request engine profile counters across the
+// service lifetime (mu-guarded; written once per request, not per item).
+type engineTotals struct {
+	XMLTokens         int64 `json:"xmlTokens"`
+	NodesMaterialized int64 `json:"nodesMaterialized"`
+	MemoHits          int64 `json:"memoHits"`
+	MemoMisses        int64 `json:"memoMisses"`
+	IndexHits         int64 `json:"indexHits"`
+	IndexBuilds       int64 `json:"indexBuilds"`
+	StructJoins       int64 `json:"structJoins"`
+	InterruptPolls    int64 `json:"interruptPolls"`
+}
+
 // statsCore accumulates request outcomes. Latencies cover the whole
 // service-level request — queue wait included — since that is what a
-// client observes.
+// client observes. Alongside the percentile window it maintains fixed
+// histogram buckets (non-cumulative internally; cumulated at exposition
+// time) so /metrics scrapes never sort.
 type statsCore struct {
 	mu       sync.Mutex
 	served   uint64 // successful queries
@@ -22,10 +48,20 @@ type statsCore struct {
 	lat      []time.Duration
 	pos      int
 	start    time.Time
+
+	hist     []uint64 // per-bucket counts; len(latBuckets)+1, last = +Inf
+	histSum  time.Duration
+	histCnt  uint64
+	engine   engineTotals
+	profiled uint64 // requests that carried a profile
 }
 
 func newStatsCore() *statsCore {
-	return &statsCore{lat: make([]time.Duration, 0, latWindow), start: time.Now()}
+	return &statsCore{
+		lat:   make([]time.Duration, 0, latWindow),
+		hist:  make([]uint64, len(latBuckets)+1),
+		start: time.Now(),
+	}
 }
 
 type outcome int
@@ -36,6 +72,31 @@ const (
 	outcomeRejected
 	outcomeTimeout
 )
+
+func (o outcome) String() string {
+	switch o {
+	case outcomeOK:
+		return "ok"
+	case outcomeError:
+		return "error"
+	case outcomeRejected:
+		return "rejected"
+	default:
+		return "timeout"
+	}
+}
+
+// histBucket returns the index of the histogram bucket for a latency: the
+// first bucket whose upper bound is not exceeded, or the +Inf slot.
+func histBucket(d time.Duration) int {
+	secs := d.Seconds()
+	for i, ub := range latBuckets {
+		if secs <= ub {
+			return i
+		}
+	}
+	return len(latBuckets)
+}
 
 func (s *statsCore) observe(o outcome, d time.Duration) {
 	s.mu.Lock()
@@ -57,22 +118,57 @@ func (s *statsCore) observe(o outcome, d time.Duration) {
 		s.lat[s.pos] = d
 		s.pos = (s.pos + 1) % latWindow
 	}
+	s.hist[histBucket(d)]++
+	s.histSum += d
+	s.histCnt++
 }
 
-// percentiles returns p50 and p99 over the window (0 when empty).
-func (s *statsCore) percentiles() (p50, p99 time.Duration) {
+// addEngine folds one request's profile counters into the lifetime totals.
+func (s *statsCore) addEngine(c xqgo.EngineCounters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiled++
+	s.engine.XMLTokens += c.XMLTokens
+	s.engine.NodesMaterialized += c.NodesMaterialized
+	s.engine.MemoHits += c.MemoHits
+	s.engine.MemoMisses += c.MemoMisses
+	s.engine.IndexHits += c.IndexHits
+	s.engine.IndexBuilds += c.IndexBuilds
+	s.engine.StructJoins += c.StructJoins
+	s.engine.InterruptPolls += c.InterruptPolls
+}
+
+// histogram snapshots the bucket counts (non-cumulative), sum and count.
+func (s *statsCore) histogram() (buckets []uint64, sum time.Duration, count uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.hist...), s.histSum, s.histCnt
+}
+
+// percentiles returns p50, p90 and p99 over the window (0 when empty),
+// using the nearest-rank definition: the smallest value with at least
+// ceil(p*n) observations at or below it. (The previous int(p*(n-1))
+// truncation biased every percentile toward p0 — e.g. p99 over 100 samples
+// picked the 98th-smallest instead of the 99th.)
+func (s *statsCore) percentiles() (p50, p90, p99 time.Duration) {
 	s.mu.Lock()
 	buf := append([]time.Duration(nil), s.lat...)
 	s.mu.Unlock()
 	if len(buf) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 	idx := func(p float64) int {
-		i := int(p * float64(len(buf)-1))
+		i := int(math.Ceil(p*float64(len(buf)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(buf) {
+			i = len(buf) - 1
+		}
 		return i
 	}
-	return buf[idx(0.50)], buf[idx(0.99)]
+	return buf[idx(0.50)], buf[idx(0.90)], buf[idx(0.99)]
 }
 
 // DocTotals aggregates the catalog accounting.
@@ -92,11 +188,14 @@ type Snapshot struct {
 	InFlight    int64          `json:"inFlight"`
 	Queued      int64          `json:"queued"`
 	P50Micros   int64          `json:"p50Micros"`
+	P90Micros   int64          `json:"p90Micros"`
 	P99Micros   int64          `json:"p99Micros"`
 	PlanCache   PlanCacheStats `json:"planCache"`
 	Documents   DocTotals      `json:"documents"`
 	UptimeSecs  float64        `json:"uptimeSecs"`
 	WorkerSlots int            `json:"workerSlots"`
+	Engine      engineTotals   `json:"engine"`
+	SlowQueries uint64         `json:"slowQueries"`
 }
 
 // Stats snapshots every counter in the service.
@@ -105,9 +204,11 @@ func (s *Service) Stats() Snapshot {
 	st.mu.Lock()
 	served, errs, rej, to := st.served, st.errors, st.rejected, st.timeouts
 	start := st.start
+	engine := st.engine
 	st.mu.Unlock()
-	p50, p99 := st.percentiles()
+	p50, p90, p99 := st.percentiles()
 	docs, bytes, nodes := s.Catalog.Totals()
+	_, slowTotal := s.slow.snapshot()
 	return Snapshot{
 		Served:      served,
 		Errors:      errs,
@@ -116,10 +217,13 @@ func (s *Service) Stats() Snapshot {
 		InFlight:    s.exec.InFlight(),
 		Queued:      s.exec.Queued(),
 		P50Micros:   p50.Microseconds(),
+		P90Micros:   p90.Microseconds(),
 		P99Micros:   p99.Microseconds(),
 		PlanCache:   s.plans.Stats(),
 		Documents:   DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
 		UptimeSecs:  time.Since(start).Seconds(),
 		WorkerSlots: s.exec.Workers(),
+		Engine:      engine,
+		SlowQueries: slowTotal,
 	}
 }

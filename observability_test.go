@@ -1,0 +1,105 @@
+package xqgo_test
+
+// End-to-end tests of the execution-profiling surface: the xq -explain
+// report (golden) and concurrent use of one profile through the public API.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"xqgo"
+)
+
+const explainBib = `<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+  <book year="1999"><title>The Economics of Technology</title><price>129.95</price></book>
+</bib>`
+
+const explainQuery = `for $b in /bib/book where $b/price < 100 return <cheap>{string($b/title)}</cheap>`
+
+// durRE matches Go duration literals; wall times are the only run-to-run
+// nondeterminism in an -explain report, so the golden file stores <dur>.
+var durRE = regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)\b`)
+
+func TestCLIXqExplainGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI tests in -short mode")
+	}
+	docPath := filepath.Join(t.TempDir(), "bib.xml")
+	if err := os.WriteFile(docPath, []byte(explainBib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, err := runTool(t, "run", "./cmd/xq", "-explain", "-doc", docPath, explainQuery)
+	if err != nil {
+		t.Fatalf("xq -explain: %v\n%s", err, errOut)
+	}
+	got := durRE.ReplaceAllString(out, "<dur>")
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "explain_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			g, w := "", ""
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Errorf("line %d:\n got: %q\nwant: %q", i+1, g, w)
+			}
+		}
+	}
+}
+
+// TestConcurrentProfiledQueries shares one profile across parallel contexts
+// through the public API; run under -race in CI.
+func TestConcurrentProfiledQueries(t *testing.T) {
+	doc, err := xqgo.Parse(strings.NewReader(explainBib), "bib.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xqgo.MustCompile(explainQuery, nil)
+	prof := q.NewProfile()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := xqgo.NewContext().WithContextNode(doc).WithProfile(prof)
+			if _, err := q.EvalString(ctx); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rep := prof.Report()
+	if len(rep.Operators) < 3 {
+		t.Fatalf("profile has %d operators, want >= 3", len(rep.Operators))
+	}
+	for _, op := range rep.Operators {
+		if op.Kind == "flwor" && op.Starts != workers {
+			t.Errorf("flwor starts = %d, want %d", op.Starts, workers)
+		}
+	}
+	if len(q.RuleFires()) == 0 {
+		t.Error("no optimizer rules recorded as fired")
+	}
+}

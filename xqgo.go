@@ -101,6 +101,7 @@ const (
 type Query struct {
 	prepared *runtime.Prepared
 	plan     *expr.Query
+	trace    *optimizer.Trace // rewrite trace; nil when NoOptimize
 }
 
 // Compile parses, optimizes and compiles an XQuery source text.
@@ -112,11 +113,14 @@ func Compile(src string, opts *Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	var trace *optimizer.Trace
 	if !opts.NoOptimize {
 		oo := optimizer.Options{}
 		if len(opts.DisableRules) > 0 {
 			oo = optimizer.Disable(opts.DisableRules...)
 		}
+		trace = optimizer.NewTrace()
+		oo.Trace = trace
 		q = optimizer.Optimize(q, oo)
 	}
 	prepared, err := runtime.Compile(q, runtime.Options{
@@ -128,7 +132,7 @@ func Compile(src string, opts *Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{prepared: prepared, plan: q}, nil
+	return &Query{prepared: prepared, plan: q, trace: trace}, nil
 }
 
 // MustCompile is Compile that panics on error (for tests and examples).
@@ -142,6 +146,40 @@ func MustCompile(src string, opts *Options) *Query {
 
 // Plan renders the optimized expression tree (diagnostics).
 func (q *Query) Plan() string { return expr.String(q.plan.Body) }
+
+// Profiling and explain support. A Profile is attached to a Context before
+// execution and read afterwards; the rewrite trace is recorded at Compile
+// time. See Query.NewProfile, Context.WithProfile and Query.RewriteTrace.
+type (
+	// Profile collects per-operator and engine-wide execution statistics
+	// for executions it is attached to (see Context.WithProfile).
+	Profile = runtime.Profile
+	// ProfileReport is a snapshot of a Profile.
+	ProfileReport = runtime.Report
+	// OpProfile is one per-operator row of a ProfileReport.
+	OpProfile = runtime.OpReport
+	// EngineCounters are the execution-wide counters of a ProfileReport.
+	EngineCounters = runtime.CounterReport
+	// RewriteEvent is one recorded optimizer rule application.
+	RewriteEvent = optimizer.TraceEvent
+)
+
+// NewProfile creates a wall-clock-timed profile for this query (explain
+// mode: every instrumented operator pull is timed).
+func (q *Query) NewProfile() *Profile { return q.prepared.NewProfile(true) }
+
+// NewCountersProfile creates a counters-only profile: item counts and engine
+// counters are collected but no per-pull timing, making it cheap enough for
+// always-on accounting (the service layer's default).
+func (q *Query) NewCountersProfile() *Profile { return q.prepared.NewProfile(false) }
+
+// RewriteTrace returns the optimizer rule applications recorded while this
+// query was compiled, in application order (nil when NoOptimize was set).
+func (q *Query) RewriteTrace() []RewriteEvent { return q.trace.Events() }
+
+// RuleFires returns per-rule fire counts from compilation (nil when nothing
+// fired or NoOptimize was set).
+func (q *Query) RuleFires() map[string]int { return q.trace.Fires() }
 
 // Document is a parsed XML document.
 type Document struct {
@@ -271,6 +309,15 @@ func (c *Context) WithNow(t time.Time) *Context {
 //	ctx.WithInterrupt(func() error { return reqCtx.Err() })
 func (c *Context) WithInterrupt(f func() error) *Context {
 	c.dyn.Interrupt = f
+	return c
+}
+
+// WithProfile attaches a profile to this context: subsequent executions
+// update its counters. The profile must come from the same Query's
+// NewProfile/NewCountersProfile (operator ids are plan-specific). Pass nil
+// to detach.
+func (c *Context) WithProfile(p *Profile) *Context {
+	c.dyn.Prof = p
 	return c
 }
 
