@@ -17,12 +17,23 @@ type benchRow struct {
 	NsPerOp int64 `json:"nsPerOp"`
 }
 
-// benchReport is the JSON artifact written by -json (BENCH_PR2.json in CI).
+// benchReport is the JSON artifact written by -json (BENCH_PR3.json in CI).
 type benchReport struct {
 	GoVersion  string     `json:"goVersion"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	Reps       int        `json:"reps"`
 	Rows       []benchRow `json:"rows"`
+	// Batch holds the batched-vs-item comparison: the same plan timed with
+	// the vectorized NextBatch path (default) and with DisableBatching.
+	Batch []batchRow `json:"batchVsItem"`
+}
+
+// batchRow is one batched-vs-item comparison measurement.
+type batchRow struct {
+	Name      string  `json:"name"`
+	BatchedNs int64   `json:"batchedNsPerOp"`
+	ItemNs    int64   `json:"itemNsPerOp"`
+	Speedup   float64 `json:"speedup"` // itemNs / batchedNs
 }
 
 // runJSON runs the benchmark smoke suite — the paper-query workload at CI-
@@ -85,6 +96,57 @@ func (r *runner) runJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "xqbench: %-32s %12d ns/op\n", b.name, d.Nanoseconds())
 	}
 
+	// Batched-vs-item comparison: each query compiled twice, once on the
+	// default vectorized pull path and once with DisableBatching (the exact
+	// item-at-a-time engine of PR 2). CI gates on Speedup so a batching
+	// regression fails the build.
+	compare := []struct {
+		name string
+		q    string
+		opts xqgo.Options
+		doc  *xqgo.Document
+	}{
+		{"paper-query/full", paperQ, xqgo.Options{}, orders},
+		{"paper-query/serialize", paperQ, xqgo.Options{}, orders},
+		{"path/child-steps", `/Order/OrderLine/Item/ID`, xqgo.Options{}, orders},
+		{"pipeline/range-filter-count",
+			`count((1 to 200000)[. mod 7 = 0])`, xqgo.Options{}, orders},
+		{"pipeline/sum-range", `sum(1 to 1000000)`, xqgo.Options{}, orders},
+		{"pipeline/count-range", `count(1 to 1000000)`, xqgo.Options{}, orders},
+	}
+	var worst float64 = 1e18
+	for _, c := range compare {
+		bOpts := c.opts
+		iOpts := c.opts
+		iOpts.DisableBatching = true
+		qb := mustCompile(c.q, &bOpts)
+		qi := mustCompile(c.q, &iOpts)
+		run := func(q *xqgo.Query) func() {
+			if c.name == "paper-query/serialize" {
+				return func() {
+					if err := q.Execute(ctxFor(c.doc), io.Discard); err != nil {
+						panic(err)
+					}
+				}
+			}
+			return func() { mustEval(q, ctxFor(c.doc)) }
+		}
+		db := r.timeIt(run(qb))
+		di := r.timeIt(run(qi))
+		speedup := float64(di.Nanoseconds()) / float64(db.Nanoseconds())
+		if speedup < worst {
+			worst = speedup
+		}
+		rep.Batch = append(rep.Batch, batchRow{
+			Name:      c.name,
+			BatchedNs: db.Nanoseconds(),
+			ItemNs:    di.Nanoseconds(),
+			Speedup:   speedup,
+		})
+		fmt.Fprintf(os.Stderr, "xqbench: batch-vs-item %-24s batched %10d ns/op  item %10d ns/op  speedup %.2fx\n",
+			c.name, db.Nanoseconds(), di.Nanoseconds(), speedup)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -95,5 +157,15 @@ func (r *runner) runJSON(path string) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Regression gate: batching must never make a compared query more than
+	// 15% slower than the item-at-a-time baseline (median-of-reps timing
+	// keeps CI noise below that).
+	if worst < 0.85 {
+		return fmt.Errorf("batching regression: worst batched/item speedup %.2fx < 0.85x", worst)
+	}
+	return nil
 }

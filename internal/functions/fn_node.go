@@ -185,6 +185,9 @@ func init() {
 			if f < 0 {
 				return -f
 			}
+			if f == 0 {
+				return 0 // fn:abs(-0.0e0) is positive zero per F&O
+			}
 			return f
 		})})
 	register(&Func{Name: "floor", MinArgs: 1, MaxArgs: 1, Props: detErr,

@@ -1,6 +1,7 @@
 package functions
 
 import (
+	"math"
 	"regexp"
 	"strings"
 
@@ -116,26 +117,28 @@ func init() {
 			if err != nil || !ok {
 				return nil, typeErr("fn:substring: start required")
 			}
-			runes := []rune(s)
-			start := int(startA.AsFloat() + 0.5)
-			end := len(runes) + 1
+			// F&O: characters at positions p with round(start) <= p <
+			// round(start) + round(length), computed in doubles so that NaN
+			// arguments select nothing and infinities behave per IEEE.
+			startF := math.Floor(startA.AsFloat() + 0.5)
+			endF := math.Inf(1)
 			if len(args) == 3 {
 				lenA, ok, err := numericArg(args[2])
 				if err != nil || !ok {
 					return nil, typeErr("fn:substring: bad length")
 				}
-				end = start + int(lenA.AsFloat()+0.5)
+				endF = startF + math.Floor(lenA.AsFloat()+0.5)
 			}
-			if start < 1 {
-				start = 1
-			}
-			if end > len(runes)+1 {
-				end = len(runes) + 1
-			}
-			if start >= end {
+			if math.IsNaN(startF) || math.IsNaN(endF) {
 				return singleton(xdm.NewString("")), nil
 			}
-			return singleton(xdm.NewString(string(runes[start-1 : end-1]))), nil
+			var b strings.Builder
+			for i, r := range []rune(s) {
+				if p := float64(i + 1); p >= startF && p < endF {
+					b.WriteRune(r)
+				}
+			}
+			return singleton(xdm.NewString(b.String())), nil
 		}})
 
 	register(&Func{Name: "substring-before", MinArgs: 2, MaxArgs: 2, Props: det,
@@ -277,7 +280,11 @@ func init() {
 			var b strings.Builder
 			for _, it := range args[0] {
 				a := xdm.Atomize(it)
-				b.WriteRune(rune(a.AsInt()))
+				cp := a.AsInt()
+				if !isXMLChar(cp) {
+					return nil, xdm.Errf("FOCH0001", "codepoint %d is not a valid XML character", cp)
+				}
+				b.WriteRune(rune(cp))
 			}
 			return singleton(xdm.NewString(b.String())), nil
 		}})
@@ -299,6 +306,23 @@ func init() {
 			}
 			return singleton(xdm.NewString(b.String())), nil
 		}})
+}
+
+// isXMLChar reports whether cp is a valid XML 1.0 character (the Char
+// production): 0x9 | 0xA | 0xD | [0x20-0xD7FF] | [0xE000-0xFFFD] |
+// [0x10000-0x10FFFF]. Surrogate code points and most C0 controls are not.
+func isXMLChar(cp int64) bool {
+	switch {
+	case cp == 0x9 || cp == 0xA || cp == 0xD:
+		return true
+	case cp >= 0x20 && cp <= 0xD7FF:
+		return true
+	case cp >= 0xE000 && cp <= 0xFFFD:
+		return true
+	case cp >= 0x10000 && cp <= 0x10FFFF:
+		return true
+	}
+	return false
 }
 
 func hexByte(c byte) string {

@@ -1,0 +1,241 @@
+package runtime
+
+// Unit tests for the NextBatch contract: the generic adapter over
+// Next-only iterators, native batch producers (sliceIter, rangeIter,
+// lazyCursor), partial-batch error delivery, and the per-execution
+// buffer pool.
+
+import (
+	"errors"
+	"testing"
+
+	"xqgo/internal/xdm"
+)
+
+// stubIter yields the given items one at a time, then an optional error.
+// It deliberately implements only Next, to exercise the generic adapter.
+type stubIter struct {
+	items []xdm.Item
+	pos   int
+	err   error
+}
+
+func (s *stubIter) Next() (xdm.Item, bool, error) {
+	if s.pos < len(s.items) {
+		it := s.items[s.pos]
+		s.pos++
+		return it, true, nil
+	}
+	if s.err != nil {
+		e := s.err
+		s.err = nil
+		return nil, false, e
+	}
+	return nil, false, nil
+}
+
+func ints(vals ...int64) xdm.Sequence {
+	out := make(xdm.Sequence, len(vals))
+	for i, v := range vals {
+		out[i] = xdm.NewInteger(v)
+	}
+	return out
+}
+
+func TestNextBatchAdapterFillsFromNext(t *testing.T) {
+	it := &stubIter{items: ints(1, 2, 3, 4, 5)}
+	buf := make([]xdm.Item, 3)
+
+	n, err := nextBatch(it, buf)
+	if err != nil || n != 3 {
+		t.Fatalf("first batch: n=%d err=%v, want 3 items", n, err)
+	}
+	n, err = nextBatch(it, buf)
+	if err != nil || n != 2 {
+		t.Fatalf("second batch: n=%d err=%v, want short batch of 2", n, err)
+	}
+	// A short batch does not signal the end; the next pull must return 0.
+	n, err = nextBatch(it, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("final batch: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestNextBatchAdapterPartialBatchBeforeError(t *testing.T) {
+	boom := errors.New("boom")
+	it := &stubIter{items: ints(7, 8), err: boom}
+	buf := make([]xdm.Item, 8)
+
+	n, err := nextBatch(it, buf)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want the 2 items produced before the error", n)
+	}
+	if buf[0].(xdm.Atomic).AsInt() != 7 || buf[1].(xdm.Atomic).AsInt() != 8 {
+		t.Fatalf("buf[:2] = %v, want items 7, 8", buf[:2])
+	}
+}
+
+func TestNativeBatchProducers(t *testing.T) {
+	dyn := &Dynamic{}
+	cases := []struct {
+		name string
+		it   Iter
+		want []int64
+	}{
+		{"sliceIter", newSliceIter(ints(1, 2, 3, 4, 5, 6, 7)), []int64{1, 2, 3, 4, 5, 6, 7}},
+		{"rangeIter", &rangeIter{cur: 10, end: 14, dyn: dyn}, []int64{10, 11, 12, 13, 14}},
+		{"lazyCursor", NewLazySeq(&stubIter{items: ints(3, 1, 4, 1, 5)}).Iterator(),
+			[]int64{3, 1, 4, 1, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := tc.it.(BatchIter); !ok {
+				t.Fatalf("%s does not implement BatchIter", tc.name)
+			}
+			// Pull through an odd-sized buffer so batch boundaries do not
+			// line up with the sequence length.
+			buf := make([]xdm.Item, 3)
+			var got []int64
+			for {
+				n, err := nextBatch(tc.it, buf)
+				if err != nil {
+					t.Fatalf("NextBatch: %v", err)
+				}
+				for _, x := range buf[:n] {
+					got = append(got, x.(xdm.Atomic).AsInt())
+				}
+				if n == 0 {
+					break
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestLazyCursorMixedGranularity(t *testing.T) {
+	// Two cursors over one LazySeq, one pulling items and one pulling
+	// batches, must see the same sequence: batch pulls extend the shared
+	// cache that item pulls replay.
+	seq := NewLazySeq(&stubIter{items: ints(1, 2, 3, 4, 5, 6, 7, 8, 9)})
+	a := seq.Iterator()
+	b := seq.Iterator().(BatchIter)
+
+	// a consumes two items first.
+	for i := int64(1); i <= 2; i++ {
+		x, ok, err := a.Next()
+		if err != nil || !ok || x.(xdm.Atomic).AsInt() != i {
+			t.Fatalf("item cursor: got %v ok=%v err=%v, want %d", x, ok, err, i)
+		}
+	}
+	// b batch-pulls past a's position. Short batches are legal (the cursor
+	// may return the already-cached prefix first), so pull until 6 arrive.
+	buf := make([]xdm.Item, 6)
+	var got []xdm.Item
+	for len(got) < 6 {
+		n, err := b.NextBatch(buf)
+		if err != nil || n == 0 {
+			t.Fatalf("batch cursor: n=%d err=%v after %d items, want 6 total", n, err, len(got))
+		}
+		got = append(got, buf[:n]...)
+	}
+	for i, x := range got {
+		if x.(xdm.Atomic).AsInt() != int64(i+1) {
+			t.Fatalf("batch cursor item %d = %v, want %d", i, x, i+1)
+		}
+	}
+	// a continues from its own position over the now-cached prefix.
+	x, ok, err := a.Next()
+	if err != nil || !ok || x.(xdm.Atomic).AsInt() != 3 {
+		t.Fatalf("item cursor after batch: got %v ok=%v err=%v, want 3", x, ok, err)
+	}
+}
+
+func TestDrainBatched(t *testing.T) {
+	dyn := &Dynamic{}
+	want := batchSize*2 + 17 // force full batches, a short batch, and an end pull
+	var items xdm.Sequence
+	for i := 0; i < want; i++ {
+		items = append(items, xdm.NewInteger(int64(i)))
+	}
+	out, err := drainBatched(dyn, &stubIter{items: items})
+	if err != nil {
+		t.Fatalf("drainBatched: %v", err)
+	}
+	if len(out) != want {
+		t.Fatalf("len = %d, want %d", len(out), want)
+	}
+	for i, x := range out {
+		if x.(xdm.Atomic).AsInt() != int64(i) {
+			t.Fatalf("out[%d] = %v, want %d", i, x, i)
+		}
+	}
+
+	boom := errors.New("boom")
+	if _, err := drainBatched(dyn, &stubIter{items: ints(1, 2), err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("drainBatched error = %v, want boom", err)
+	}
+}
+
+func TestBufferPoolReuseAndClearing(t *testing.T) {
+	dyn := &Dynamic{}
+	b1 := dyn.getBuf()
+	if len(b1) != batchSize {
+		t.Fatalf("len(buf) = %d, want %d", len(b1), batchSize)
+	}
+	b1[0] = xdm.NewInteger(42)
+	dyn.putBuf(b1[:5]) // returned short; pool must restore capacity and clear refs
+
+	b2 := dyn.getBuf()
+	if &b1[:batchSize][0] != &b2[0] {
+		t.Fatalf("pool did not reuse the returned buffer")
+	}
+	if len(b2) != batchSize {
+		t.Fatalf("reused buffer len = %d, want %d", len(b2), batchSize)
+	}
+	for i, x := range b2 {
+		if x != nil {
+			t.Fatalf("buf[%d] = %v, want nil (refs must be cleared)", i, x)
+		}
+	}
+}
+
+func TestCheckInterruptNCountsSteps(t *testing.T) {
+	polls := 0
+	dyn := &Dynamic{Interrupt: func() error { polls++; return nil }}
+	// Advance the step budget by batches summing to many strides: the hook
+	// must run about once per stride, exactly as item-wise CheckInterrupt.
+	const rounds = 100
+	const perBatch = 100
+	for i := 0; i < rounds; i++ {
+		if err := dyn.CheckInterruptN(perBatch); err != nil {
+			t.Fatalf("CheckInterruptN: %v", err)
+		}
+	}
+	wantPolls := rounds * perBatch / int(interruptStride)
+	if polls < wantPolls-1 || polls > wantPolls+1 {
+		t.Fatalf("polls = %d, want about %d", polls, wantPolls)
+	}
+
+	interrupted := errors.New("deadline")
+	dyn2 := &Dynamic{Interrupt: func() error { return interrupted }}
+	var err error
+	for i := 0; i < 2*int(interruptStride); i++ {
+		if err = dyn2.CheckInterruptN(8); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, interrupted) {
+		t.Fatalf("err = %v, want the interrupt error to surface", err)
+	}
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// Plans compiled this way cannot be profiled (NewProfile reports no
 	// operators) but carry zero instrumentation code.
 	NoProfileHooks bool
+	// NoBatch disables the vectorized NextBatch fast path (see batch.go):
+	// every materializing consumer in the plan pulls one item per call.
+	// This is the item-at-a-time baseline for the batched-vs-item
+	// benchmark rows and the differential test.
+	NoBatch bool
 }
 
 // seqFn is a compiled expression: evaluate against a frame, get an iterator.
@@ -150,13 +155,23 @@ func (c *compiler) resolve(q xdm.QName) (int, bool) {
 	return 0, false
 }
 
+// drainFor returns the materializing drain for this plan: batched pulls
+// through the buffer pool unless the plan was compiled with NoBatch.
+func (c *compiler) drainFor() func(fr *Frame, it Iter) (xdm.Sequence, error) {
+	if c.opts.NoBatch {
+		return func(_ *Frame, it Iter) (xdm.Sequence, error) { return drain(it) }
+	}
+	return func(fr *Frame, it Iter) (xdm.Sequence, error) { return drainBatched(fr.dyn, it) }
+}
+
 // wrap applies the eager-engine transformation: fully materialize.
 func (c *compiler) wrap(fn seqFn) seqFn {
 	if !c.opts.Eager {
 		return fn
 	}
+	dr := c.drainFor()
 	return func(fr *Frame) Iter {
-		seq, err := drain(fn(fr))
+		seq, err := dr(fr, fn(fr))
 		if err != nil {
 			return errIter(err)
 		}
@@ -225,7 +240,7 @@ func (c *compiler) compileRaw(e expr.Expr) (seqFn, error) {
 		if par, ok := c.compileParallelSeq(n, fns); ok {
 			return par, nil
 		}
-		return func(fr *Frame) Iter { return concatIter(fr, fns) }, nil
+		return func(fr *Frame) Iter { return newConcatIter(fr, fns) }, nil
 
 	case *expr.Range:
 		lo, err := c.compile(n.Lo)
@@ -256,18 +271,7 @@ func (c *compiler) compileRaw(e expr.Expr) (seqFn, error) {
 			if err != nil {
 				return errIter(err)
 			}
-			cur := ia
-			return iterFunc(func() (xdm.Item, bool, error) {
-				if cur > ib {
-					return nil, false, nil
-				}
-				if err := fr.dyn.CheckInterrupt(); err != nil {
-					return nil, false, err
-				}
-				v := xdm.NewInteger(cur)
-				cur++
-				return v, true, nil
-			})
+			return &rangeIter{cur: ia, end: ib, dyn: fr.dyn}
 		}, nil
 
 	case *expr.Arith:
@@ -387,8 +391,9 @@ func (c *compiler) compileRaw(e expr.Expr) (seqFn, error) {
 			return nil, err
 		}
 		t := n.T
+		dr := c.drainFor()
 		return func(fr *Frame) Iter {
-			seq, err := drain(xf(fr))
+			seq, err := dr(fr, xf(fr))
 			if err != nil {
 				return errIter(err)
 			}
@@ -443,29 +448,93 @@ func (c *compiler) compileRaw(e expr.Expr) (seqFn, error) {
 
 // ---- helper evaluation pieces ----
 
+// rangeIter counts through lo..hi, a whole chunk per batch pull.
+type rangeIter struct {
+	cur, end int64
+	dyn      *Dynamic
+}
+
+func (r *rangeIter) Next() (xdm.Item, bool, error) {
+	if r.cur > r.end {
+		return nil, false, nil
+	}
+	if err := r.dyn.CheckInterrupt(); err != nil {
+		return nil, false, err
+	}
+	v := xdm.NewInteger(r.cur)
+	r.cur++
+	return v, true, nil
+}
+
+// remaining implements sizedIter: a range knows its cardinality.
+func (r *rangeIter) remaining() (int64, bool) {
+	if r.cur > r.end {
+		return 0, true
+	}
+	return r.end - r.cur + 1, true
+}
+
+// NextBatch implements BatchIter.
+func (r *rangeIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) && r.cur <= r.end {
+		buf[n] = xdm.NewInteger(r.cur)
+		r.cur++
+		n++
+	}
+	if err := r.dyn.CheckInterruptN(n); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
 // concatIter concatenates the results of several compiled expressions.
-func concatIter(fr *Frame, fns []seqFn) Iter {
-	idx := 0
-	var cur Iter
-	return iterFunc(func() (xdm.Item, bool, error) {
-		for {
-			if cur == nil {
-				if idx >= len(fns) {
-					return nil, false, nil
-				}
-				cur = fns[idx](fr)
-				idx++
+type concatIter struct {
+	fr  *Frame
+	fns []seqFn
+	idx int
+	cur Iter
+}
+
+func newConcatIter(fr *Frame, fns []seqFn) Iter { return &concatIter{fr: fr, fns: fns} }
+
+func (ci *concatIter) Next() (xdm.Item, bool, error) {
+	for {
+		if ci.cur == nil {
+			if ci.idx >= len(ci.fns) {
+				return nil, false, nil
 			}
-			it, ok, err := cur.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
-				return it, true, nil
-			}
-			cur = nil
+			ci.cur = ci.fns[ci.idx](ci.fr)
+			ci.idx++
 		}
-	})
+		it, ok, err := ci.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return it, true, nil
+		}
+		ci.cur = nil
+	}
+}
+
+// NextBatch implements BatchIter: the batch demand is forwarded to the
+// current operand, so a whole chain of concatenations moves chunks.
+func (ci *concatIter) NextBatch(buf []xdm.Item) (int, error) {
+	for {
+		if ci.cur == nil {
+			if ci.idx >= len(ci.fns) {
+				return 0, nil
+			}
+			ci.cur = ci.fns[ci.idx](ci.fr)
+			ci.idx++
+		}
+		n, err := nextBatch(ci.cur, buf)
+		if err != nil || n > 0 {
+			return n, err
+		}
+		ci.cur = nil
+	}
 }
 
 // atomizeSingle pulls at most one item and atomizes it; a second item is a
@@ -756,8 +825,9 @@ func (c *compiler) compileTypeswitch(n *expr.Typeswitch) (seqFn, error) {
 	if err != nil {
 		return nil, err
 	}
+	dr := c.drainFor()
 	return func(fr *Frame) Iter {
-		seq, err := drain(inFn(fr))
+		seq, err := dr(fr, inFn(fr))
 		if err != nil {
 			return errIter(err)
 		}
@@ -788,12 +858,13 @@ func (c *compiler) compileSetOp(n *expr.SetOp) (seqFn, error) {
 		return nil, err
 	}
 	op := n.Op
+	dr := c.drainFor()
 	fn := func(fr *Frame) Iter {
-		lseq, err := drain(lf(fr))
+		lseq, err := dr(fr, lf(fr))
 		if err != nil {
 			return errIter(err)
 		}
-		rseq, err := drain(rf(fr))
+		rseq, err := dr(fr, rf(fr))
 		if err != nil {
 			return errIter(err)
 		}

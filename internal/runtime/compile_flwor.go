@@ -14,6 +14,38 @@ import (
 // tupleIter yields binding frames.
 type tupleIter func() (*Frame, bool, error)
 
+// tupleSrc is a tuple stream with both pull granularities: next yields one
+// binding frame (the exact lazy semantics), batch fills a frame buffer
+// under the same contract as BatchIter.NextBatch (0 with nil error = end,
+// a short batch does not signal the end, frames before an error are valid).
+// Only drain-everything consumers (a batch-pulled return clause, order-by
+// materialization) use batch; quantifiers and item-driven FLWORs stay on
+// next, preserving early exit.
+type tupleSrc struct {
+	next  tupleIter
+	batch func(buf []*Frame) (int, error)
+}
+
+// tupleSrcFrom wraps an item-granularity tuple stream, deriving the batch
+// side generically.
+func tupleSrcFrom(next tupleIter) tupleSrc {
+	return tupleSrc{next: next, batch: func(buf []*Frame) (int, error) {
+		n := 0
+		for n < len(buf) {
+			t, ok, err := next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				break
+			}
+			buf[n] = t
+			n++
+		}
+		return n, nil
+	}}
+}
+
 type compiledClause struct {
 	kind  expr.ClauseKind
 	varID int
@@ -85,7 +117,8 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 		return nil, err
 	}
 
-	makeTuples := func(fr *Frame) tupleIter {
+	noBatch := c.opts.NoBatch
+	makeTuples := func(fr *Frame) tupleSrc {
 		tuples := baseTuple(fr)
 		for i := range clauses {
 			tuples = applyClause(tuples, &clauses[i])
@@ -94,37 +127,20 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 			tuples = filterTuples(tuples, whereFn)
 		}
 		if len(groupSpecs) > 0 {
-			tuples = applyGrouping(tuples, fr, groupSpecs, rebindIDs)
+			// Grouping materializes every tuple anyway, so it may consume
+			// its input in batches.
+			pull := tuples.next
+			if !noBatch {
+				pull = batchedTuplePull(tuples)
+			}
+			tuples = tupleSrcFrom(applyGrouping(pull, fr, groupSpecs, rebindIDs))
 		}
 		return tuples
 	}
 
 	if len(orderKeys) == 0 {
 		fn := func(fr *Frame) Iter {
-			tuples := makeTuples(fr)
-			var cur Iter
-			return iterFunc(func() (xdm.Item, bool, error) {
-				for {
-					if cur == nil {
-						t, ok, err := tuples()
-						if err != nil {
-							return nil, false, err
-						}
-						if !ok {
-							return nil, false, nil
-						}
-						cur = retFn(t)
-					}
-					it, ok, err := cur.Next()
-					if err != nil {
-						return nil, false, err
-					}
-					if ok {
-						return it, true, nil
-					}
-					cur = nil
-				}
-			})
+			return &flworIter{tuples: makeTuples(fr), retFn: retFn, noBatch: noBatch}
 		}
 		return c.tag("flwor", n, fn), nil
 	}
@@ -132,13 +148,17 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 	// Order-by path: materialize tuples and their keys.
 	fn := func(fr *Frame) Iter {
 		tuples := makeTuples(fr)
+		pull := tuples.next
+		if !noBatch {
+			pull = batchedTuplePull(tuples)
+		}
 		type sortable struct {
 			frame *Frame
 			keys  []*xdm.Atomic // nil pointer = empty key
 		}
 		var rows []sortable
 		for {
-			t, ok, err := tuples()
+			t, ok, err := pull()
 			if err != nil {
 				return errIter(err)
 			}
@@ -192,29 +212,162 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 		if sortErr != nil {
 			return errIter(sortErr)
 		}
+		// Stream the return clause per sorted tuple, reusing the dual-
+		// granularity FLWOR iterator over the sorted row stream.
 		pos := 0
-		var cur Iter
-		return iterFunc(func() (xdm.Item, bool, error) {
-			for {
-				if cur == nil {
-					if pos >= len(idx) {
-						return nil, false, nil
-					}
-					cur = retFn(rows[idx[pos]].frame)
-					pos++
-				}
-				it, ok, err := cur.Next()
-				if err != nil {
-					return nil, false, err
-				}
-				if ok {
-					return it, true, nil
-				}
-				cur = nil
+		sorted := func() (*Frame, bool, error) {
+			if pos >= len(idx) {
+				return nil, false, nil
 			}
-		})
+			t := rows[idx[pos]].frame
+			pos++
+			return t, true, nil
+		}
+		return &flworIter{tuples: tupleSrcFrom(sorted), retFn: retFn, noBatch: noBatch}
 	}
 	return c.tag("flwor", n, fn), nil
+}
+
+// flworIter streams the return clause over a tuple stream. Item pulls stay
+// strictly lazy (one tuple advanced at a time); batch pulls prefetch a
+// batch of tuples and forward the batch demand into the return clause. A
+// tuple-stream error discovered while prefetching is held back until the
+// return results of the already-prefetched tuples have been delivered, so
+// the error surfaced matches item-at-a-time order.
+type flworIter struct {
+	tuples  tupleSrc
+	retFn   seqFn
+	noBatch bool
+
+	cur     Iter
+	pending []*Frame
+	pi, pn  int
+	stash   error
+	tdone   bool
+}
+
+func (f *flworIter) nextTuple(batched bool) (*Frame, bool, error) {
+	for {
+		if f.pi < f.pn {
+			t := f.pending[f.pi]
+			f.pending[f.pi] = nil
+			f.pi++
+			return t, true, nil
+		}
+		if f.stash != nil {
+			err := f.stash
+			f.stash = nil
+			f.tdone = true
+			return nil, false, err
+		}
+		if f.tdone {
+			return nil, false, nil
+		}
+		if !batched || f.noBatch {
+			t, ok, err := f.tuples.next()
+			if err != nil || !ok {
+				f.tdone = true
+				return nil, false, err
+			}
+			return t, true, nil
+		}
+		if f.pending == nil {
+			f.pending = make([]*Frame, batchSize)
+		}
+		n, err := f.tuples.batch(f.pending)
+		f.pi, f.pn = 0, n
+		if err != nil {
+			f.stash = err
+		} else if n == 0 {
+			f.tdone = true
+		}
+	}
+}
+
+func (f *flworIter) Next() (xdm.Item, bool, error) {
+	for {
+		if f.cur == nil {
+			t, ok, err := f.nextTuple(false)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			f.cur = f.retFn(t)
+		}
+		it, ok, err := f.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return it, true, nil
+		}
+		f.cur = nil
+	}
+}
+
+// NextBatch implements BatchIter.
+func (f *flworIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if f.cur == nil {
+			t, ok, err := f.nextTuple(true)
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				return n, nil
+			}
+			f.cur = f.retFn(t)
+		}
+		k, err := nextBatch(f.cur, buf[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+		if k == 0 {
+			f.cur = nil
+		}
+	}
+	return n, nil
+}
+
+// batchedTuplePull adapts a tupleSrc's batch side to one-at-a-time
+// delivery for materializing consumers (the order-by row loop): tuples are
+// prefetched a batch at a time, with upstream errors held back until the
+// prefetched tuples are consumed.
+func batchedTuplePull(src tupleSrc) tupleIter {
+	var pending []*Frame
+	pi, pn := 0, 0
+	var stash error
+	done := false
+	return func() (*Frame, bool, error) {
+		for {
+			if pi < pn {
+				t := pending[pi]
+				pending[pi] = nil
+				pi++
+				return t, true, nil
+			}
+			if stash != nil {
+				err := stash
+				stash = nil
+				done = true
+				return nil, false, err
+			}
+			if done {
+				return nil, false, nil
+			}
+			if pending == nil {
+				pending = make([]*Frame, batchSize)
+			}
+			n, err := src.batch(pending)
+			pi, pn = 0, n
+			if err != nil {
+				stash = err
+			} else if n == 0 {
+				done = true
+			}
+		}
+	}
 }
 
 // compareKeys orders two order-by keys; empty sequences order per
@@ -286,86 +439,190 @@ func stableSortInts(idx []int, less func(a, b int) bool) {
 }
 
 // baseTuple yields the initial single tuple (the enclosing frame).
-func baseTuple(fr *Frame) tupleIter {
+func baseTuple(fr *Frame) tupleSrc {
 	done := false
-	return func() (*Frame, bool, error) {
+	return tupleSrcFrom(func() (*Frame, bool, error) {
 		if done {
 			return nil, false, nil
 		}
 		done = true
 		return fr, true, nil
-	}
+	})
 }
 
 // applyClause extends a tuple stream with one for/let clause.
-func applyClause(tuples tupleIter, cl *compiledClause) tupleIter {
+func applyClause(tuples tupleSrc, cl *compiledClause) tupleSrc {
 	if cl.kind == expr.LetClause {
-		return func() (*Frame, bool, error) {
-			t, ok, err := tuples()
-			if err != nil || !ok {
-				return nil, false, err
-			}
-			// Lazy binding: the clause input is not evaluated until the
-			// variable is first used, and then memoized.
-			val := NewLazySeq(cl.in(t))
-			return t.bind(cl.varID, val), true, nil
-		}
-	}
-	// for-clause: one tuple per item of the input sequence.
-	var outer *Frame
-	var inner Iter
-	var pos int64
-	return func() (*Frame, bool, error) {
-		for {
-			if inner == nil {
-				t, ok, err := tuples()
+		// Lazy binding: the clause input is not evaluated until the
+		// variable is first used, and then memoized — in both granularities.
+		bind := func(t *Frame) *Frame { return t.bind(cl.varID, NewLazySeq(cl.in(t))) }
+		return tupleSrc{
+			next: func() (*Frame, bool, error) {
+				t, ok, err := tuples.next()
 				if err != nil || !ok {
 					return nil, false, err
 				}
-				outer = t
-				inner = cl.in(t)
-				pos = 0
-			}
-			if err := outer.dyn.CheckInterrupt(); err != nil {
-				return nil, false, err
-			}
-			it, ok, err := inner.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				inner = nil
-				continue
-			}
-			pos++
-			if cl.typ != nil && !cl.typ.Item.MatchesItem(it) {
-				return nil, false, xdm.ErrType("for-variable item does not match %s", *cl.typ)
-			}
-			fr := outer.bind(cl.varID, MaterializedSeq(xdm.Sequence{it}))
-			if cl.posID >= 0 {
-				fr = fr.bind(cl.posID, MaterializedSeq(xdm.Sequence{xdm.NewInteger(pos)}))
-			}
-			return fr, true, nil
+				return bind(t), true, nil
+			},
+			batch: func(buf []*Frame) (int, error) {
+				n, err := tuples.batch(buf)
+				for i := 0; i < n; i++ {
+					buf[i] = bind(buf[i])
+				}
+				return n, err
+			},
 		}
 	}
+	// for-clause: one tuple per item of the input sequence. The item and
+	// batch sides share the cursor state, so the granularities may be mixed
+	// by a consumer without skipping or repeating tuples.
+	f := &forClauseState{tuples: tuples, cl: cl}
+	return tupleSrc{next: f.next, batch: f.batch}
 }
 
-// filterTuples applies the where clause by effective boolean value.
-func filterTuples(tuples tupleIter, whereFn seqFn) tupleIter {
-	return func() (*Frame, bool, error) {
-		for {
-			t, ok, err := tuples()
+// forClauseState is the shared cursor of one for-clause: the current outer
+// tuple and the current position within its input sequence.
+type forClauseState struct {
+	tuples  tupleSrc
+	cl      *compiledClause
+	outer   *Frame
+	inner   Iter
+	pos     int64
+	scratch []xdm.Item // staging for batch pulls of the clause input
+}
+
+// bindTuple builds the output tuple for one item of the clause input.
+func (f *forClauseState) bindTuple(it xdm.Item) (*Frame, error) {
+	f.pos++
+	if f.cl.typ != nil && !f.cl.typ.Item.MatchesItem(it) {
+		return nil, xdm.ErrType("for-variable item does not match %s", *f.cl.typ)
+	}
+	fr := f.outer.bind(f.cl.varID, MaterializedSeq(xdm.Sequence{it}))
+	if f.cl.posID >= 0 {
+		fr = fr.bind(f.cl.posID, MaterializedSeq(xdm.Sequence{xdm.NewInteger(f.pos)}))
+	}
+	return fr, nil
+}
+
+// advanceOuter moves to the next outer tuple; ok=false at the end.
+func (f *forClauseState) advanceOuter() (bool, error) {
+	t, ok, err := f.tuples.next()
+	if err != nil || !ok {
+		return false, err
+	}
+	f.outer = t
+	f.inner = f.cl.in(t)
+	f.pos = 0
+	return true, nil
+}
+
+func (f *forClauseState) next() (*Frame, bool, error) {
+	for {
+		if f.inner == nil {
+			ok, err := f.advanceOuter()
 			if err != nil || !ok {
 				return nil, false, err
 			}
-			keep, err := ebvOf(whereFn(t))
+		}
+		if err := f.outer.dyn.CheckInterrupt(); err != nil {
+			return nil, false, err
+		}
+		it, ok, err := f.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			f.inner = nil
+			continue
+		}
+		fr, err := f.bindTuple(it)
+		if err != nil {
+			return nil, false, err
+		}
+		return fr, true, nil
+	}
+}
+
+func (f *forClauseState) batch(buf []*Frame) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if f.inner == nil {
+			ok, err := f.advanceOuter()
 			if err != nil {
-				return nil, false, err
+				return n, err
 			}
-			if keep {
-				return t, true, nil
+			if !ok {
+				return n, nil
 			}
 		}
+		if f.scratch == nil {
+			f.scratch = f.outer.dyn.getBuf()
+		}
+		in := f.scratch
+		if r := len(buf) - n; r < len(in) {
+			in = in[:r]
+		}
+		k, err := nextBatch(f.inner, in)
+		for i := 0; i < k; i++ {
+			fr, berr := f.bindTuple(in[i])
+			if berr != nil {
+				return n, berr
+			}
+			buf[n] = fr
+			n++
+		}
+		if err != nil {
+			return n, err
+		}
+		if k == 0 {
+			f.inner = nil
+		}
+	}
+	if err := f.outer.dyn.CheckInterruptN(n); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// filterTuples applies the where clause by effective boolean value.
+func filterTuples(tuples tupleSrc, whereFn seqFn) tupleSrc {
+	return tupleSrc{
+		next: func() (*Frame, bool, error) {
+			for {
+				t, ok, err := tuples.next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				keep, err := ebvOf(whereFn(t))
+				if err != nil {
+					return nil, false, err
+				}
+				if keep {
+					return t, true, nil
+				}
+			}
+		},
+		batch: func(buf []*Frame) (int, error) {
+			for {
+				k, err := tuples.batch(buf)
+				n := 0
+				for i := 0; i < k; i++ {
+					keep, kerr := ebvOf(whereFn(buf[i]))
+					if kerr != nil {
+						return n, kerr
+					}
+					if keep {
+						buf[n] = buf[i]
+						n++
+					}
+				}
+				if err != nil || k == 0 || n > 0 {
+					return n, err
+				}
+				// Whole batch filtered out: pull again (n == 0 would
+				// wrongly signal the end).
+			}
+		},
 	}
 }
 
@@ -396,8 +653,11 @@ func (c *compiler) compileQuantified(n *expr.Quantified) (seqFn, error) {
 			cl := compiledClause{kind: expr.ForClause, varID: binds[i].id, posID: -1, in: binds[i].in}
 			tuples = applyClauseQ(tuples, cl)
 		}
+		// Quantifiers pull tuples one at a time on purpose: early exit is
+		// the lazy-evaluation payoff, and batch prefetch would evaluate
+		// bindings past the deciding one.
 		for {
-			t, ok, err := tuples()
+			t, ok, err := tuples.next()
 			if err != nil {
 				return errIter(err)
 			}
@@ -422,7 +682,7 @@ func (c *compiler) compileQuantified(n *expr.Quantified) (seqFn, error) {
 
 // applyClauseQ is applyClause for a value clause (quantifiers have no
 // positional variables or type checks).
-func applyClauseQ(tuples tupleIter, cl compiledClause) tupleIter {
+func applyClauseQ(tuples tupleSrc, cl compiledClause) tupleSrc {
 	clCopy := cl
 	return applyClause(tuples, &clCopy)
 }

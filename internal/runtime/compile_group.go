@@ -22,10 +22,11 @@ func (c *compiler) compileTryCatch(n *expr.TryCatch) (seqFn, error) {
 	if err != nil {
 		return nil, err
 	}
+	dr := c.drainFor()
 	return func(fr *Frame) Iter {
 		seq, err := func() (out xdm.Sequence, err error) {
 			defer recoverXQ(&err) // StreamedNode materialization panics too
-			return drain(tryFn(fr))
+			return dr(fr, tryFn(fr))
 		}()
 		if err != nil {
 			return catchFn(fr)

@@ -48,42 +48,11 @@ func (c *compiler) compileNavPath(n *expr.Path) (seqFn, error) {
 
 	raw := func(fr *Frame) Iter {
 		lseq := NewLazySeq(lf(fr))
-		li := lseq.Iterator()
 		lastFn := func() (int64, error) {
 			n, err := lseq.Len()
 			return int64(n), err
 		}
-		var cur Iter
-		pos := int64(0)
-		return iterFunc(func() (xdm.Item, bool, error) {
-			for {
-				if err := fr.dyn.CheckInterrupt(); err != nil {
-					return nil, false, err
-				}
-				if cur == nil {
-					it, ok, err := li.Next()
-					if err != nil {
-						return nil, false, err
-					}
-					if !ok {
-						return nil, false, nil
-					}
-					if !it.IsNode() {
-						return nil, false, xdm.ErrType("path step applied to an atomic value")
-					}
-					pos++
-					cur = rf(fr.focus(it, pos, lastFn))
-				}
-				it, ok, err := cur.Next()
-				if err != nil {
-					return nil, false, err
-				}
-				if ok {
-					return it, true, nil
-				}
-				cur = nil
-			}
-		})
+		return &pathIter{fr: fr, rf: rf, li: lseq.Iterator(), lastFn: lastFn}
 	}
 
 	if noReorder {
@@ -91,8 +60,9 @@ func (c *compiler) compileNavPath(n *expr.Path) (seqFn, error) {
 	}
 	// Materializing tail: sort by document order + dedup when the result is
 	// nodes; pass through when it is purely atomic (the $x/f(.) case).
+	dr := c.drainFor()
 	return func(fr *Frame) Iter {
-		seq, err := drain(raw(fr))
+		seq, err := dr(fr, raw(fr))
 		if err != nil {
 			return errIter(err)
 		}
@@ -117,6 +87,143 @@ func (c *compiler) compileNavPath(n *expr.Path) (seqFn, error) {
 			return newSliceIter(sorted)
 		}
 	}, nil
+}
+
+// pathIter is the streaming core of E1/E2: one focused evaluation of the
+// right side per left-hand node, outputs concatenated. Batch pulls forward
+// the demand to the current right-side iterator, so chains of steps move
+// chunks end to end.
+type pathIter struct {
+	fr     *Frame
+	rf     seqFn
+	li     Iter // cursor over the left input
+	lastFn func() (int64, error)
+	cur    Iter
+	pos    int64
+
+	// Batch-mode left prefetch. Like flworIter, a left-input error found
+	// while prefetching is stashed until the outputs of the nodes fetched
+	// before it have all been delivered, so errors surface in the same
+	// order as item-at-a-time evaluation.
+	pending []xdm.Item
+	pi, pn  int
+	stash   error
+	ldone   bool
+}
+
+// nextLeft yields the next left-hand node. In batched mode it prefetches a
+// chunk of the left input into a pooled buffer.
+func (p *pathIter) nextLeft(batched bool) (xdm.Item, bool, error) {
+	if p.pi < p.pn {
+		it := p.pending[p.pi]
+		p.pi++
+		return it, true, nil
+	}
+	if p.stash != nil {
+		err := p.stash
+		p.stash = nil
+		p.ldone = true
+		p.releaseLeft()
+		return nil, false, err
+	}
+	if p.ldone {
+		p.releaseLeft()
+		return nil, false, nil
+	}
+	if !batched {
+		it, ok, err := p.li.Next()
+		if err != nil || !ok {
+			p.ldone = true
+		}
+		return it, ok, err
+	}
+	if p.pending == nil {
+		p.pending = p.fr.dyn.getBuf()
+	}
+	n, err := nextBatch(p.li, p.pending)
+	p.pi, p.pn = 0, n
+	if err != nil {
+		p.stash = err
+	} else if n == 0 {
+		p.ldone = true
+	}
+	if n == 0 {
+		return p.nextLeft(batched) // deliver the stash or the end
+	}
+	p.pi = 1
+	return p.pending[0], true, nil
+}
+
+func (p *pathIter) releaseLeft() {
+	if p.pending != nil {
+		p.fr.dyn.putBuf(p.pending)
+		p.pending = nil
+		p.pi, p.pn = 0, 0
+	}
+}
+
+// advance focuses the right side on the next left-hand node; ok=false at
+// the end of the left input.
+func (p *pathIter) advance(batched bool) (bool, error) {
+	it, ok, err := p.nextLeft(batched)
+	if err != nil || !ok {
+		return false, err
+	}
+	if !it.IsNode() {
+		p.releaseLeft()
+		return false, xdm.ErrType("path step applied to an atomic value")
+	}
+	p.pos++
+	p.cur = p.rf(p.fr.focus(it, p.pos, p.lastFn))
+	return true, nil
+}
+
+func (p *pathIter) Next() (xdm.Item, bool, error) {
+	for {
+		if err := p.fr.dyn.CheckInterrupt(); err != nil {
+			return nil, false, err
+		}
+		if p.cur == nil {
+			ok, err := p.advance(false)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+		}
+		it, ok, err := p.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return it, true, nil
+		}
+		p.cur = nil
+	}
+}
+
+// NextBatch implements BatchIter.
+func (p *pathIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if p.cur == nil {
+			ok, err := p.advance(true)
+			if err != nil || !ok {
+				return n, err
+			}
+		}
+		k, err := nextBatch(p.cur, buf[n:])
+		n += k
+		if err != nil {
+			p.releaseLeft()
+			return n, err
+		}
+		if k == 0 {
+			p.cur = nil
+		}
+	}
+	if err := p.fr.dyn.CheckInterruptN(n); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
 // compileStep compiles one axis step against the context item.
@@ -215,64 +322,140 @@ func axisIter(n xdm.Node, axis expr.Axis, test xtypes.NodeTest) Iter {
 	return emptyIter
 }
 
+// nodeSliceIter filters an already-listed node slice by the node test.
+type nodeSliceIter struct {
+	nodes     []xdm.Node
+	test      xtypes.NodeTest
+	principal xdm.NodeKind
+	i         int
+}
+
+func (s *nodeSliceIter) Next() (xdm.Item, bool, error) {
+	for s.i < len(s.nodes) {
+		n := s.nodes[s.i]
+		s.i++
+		if s.test.MatchesNode(n, s.principal) {
+			return n, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// NextBatch implements BatchIter.
+func (s *nodeSliceIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) && s.i < len(s.nodes) {
+		nd := s.nodes[s.i]
+		s.i++
+		if s.test.MatchesNode(nd, s.principal) {
+			buf[n] = nd
+			n++
+		}
+	}
+	return n, nil
+}
+
 func filterNodes(nodes []xdm.Node, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
-	i := 0
-	return iterFunc(func() (xdm.Item, bool, error) {
-		for i < len(nodes) {
-			n := nodes[i]
-			i++
-			if test.MatchesNode(n, principal) {
-				return n, true, nil
-			}
-		}
-		return nil, false, nil
-	})
+	return &nodeSliceIter{nodes: nodes, test: test, principal: principal}
 }
 
-// storeChildIter walks first-child/next-sibling links without allocating
+// storeChildScan walks first-child/next-sibling links without allocating
 // the child slice.
-func storeChildIter(n *store.Node, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
-	d := n.D
-	cur := d.FirstChildID(n.ID)
-	return iterFunc(func() (xdm.Item, bool, error) {
-		for cur >= 0 {
-			id := cur
-			cur = d.NextSiblingID(id)
-			child := &store.Node{D: d, ID: id}
-			if test.MatchesNode(child, principal) {
-				return child, true, nil
-			}
-		}
-		return nil, false, nil
-	})
+type storeChildScan struct {
+	d         *store.Document
+	cur       int32
+	test      xtypes.NodeTest
+	principal xdm.NodeKind
 }
 
-// storeDescendantIter exploits the array layout: the descendants of a node
-// are exactly the id range (id, endID], minus attribute nodes — a linear
-// scan with no tree navigation at all.
+func storeChildIter(n *store.Node, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+	return &storeChildScan{d: n.D, cur: n.D.FirstChildID(n.ID), test: test, principal: principal}
+}
+
+func (s *storeChildScan) Next() (xdm.Item, bool, error) {
+	for s.cur >= 0 {
+		id := s.cur
+		s.cur = s.d.NextSiblingID(id)
+		child := &store.Node{D: s.d, ID: id}
+		if s.test.MatchesNode(child, s.principal) {
+			return child, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// NextBatch implements BatchIter.
+func (s *storeChildScan) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) && s.cur >= 0 {
+		id := s.cur
+		s.cur = s.d.NextSiblingID(id)
+		child := &store.Node{D: s.d, ID: id}
+		if s.test.MatchesNode(child, s.principal) {
+			buf[n] = child
+			n++
+		}
+	}
+	return n, nil
+}
+
+// storeDescScan exploits the array layout: the descendants of a node are
+// exactly the id range (id, endID], minus attribute nodes — a linear scan
+// with no tree navigation at all.
+type storeDescScan struct {
+	d         *store.Document
+	cur, end  int32
+	first     bool
+	test      xtypes.NodeTest
+	principal xdm.NodeKind
+}
+
 func storeDescendantIter(n *store.Node, orSelf bool, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
-	d := n.D
 	cur := n.ID
 	if !orSelf {
 		cur++
 	}
-	end := d.EndID(n.ID)
-	first := orSelf
-	return iterFunc(func() (xdm.Item, bool, error) {
-		for cur <= end {
-			id := cur
-			cur++
-			if !first && d.Kind(id) == xdm.AttributeNode {
-				continue
-			}
-			first = false
-			node := &store.Node{D: d, ID: id}
-			if test.MatchesNode(node, principal) {
-				return node, true, nil
-			}
+	return &storeDescScan{d: n.D, cur: cur, end: n.D.EndID(n.ID), first: orSelf,
+		test: test, principal: principal}
+}
+
+// scan advances past skipped ids and returns the next matching node, or nil.
+func (s *storeDescScan) scan() *store.Node {
+	for s.cur <= s.end {
+		id := s.cur
+		s.cur++
+		if !s.first && s.d.Kind(id) == xdm.AttributeNode {
+			continue
 		}
-		return nil, false, nil
-	})
+		s.first = false
+		node := &store.Node{D: s.d, ID: id}
+		if s.test.MatchesNode(node, s.principal) {
+			return node
+		}
+	}
+	return nil
+}
+
+func (s *storeDescScan) Next() (xdm.Item, bool, error) {
+	if n := s.scan(); n != nil {
+		return n, true, nil
+	}
+	return nil, false, nil
+}
+
+// NextBatch implements BatchIter: the inner scan loop runs without any
+// per-item interface dispatch — the whole point of the fast path.
+func (s *storeDescScan) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) {
+		nd := s.scan()
+		if nd == nil {
+			break
+		}
+		buf[n] = nd
+		n++
+	}
+	return n, nil
 }
 
 // genericDescendantIter is the interface-only fallback (used by non-store
@@ -350,31 +533,93 @@ func (c *compiler) compileFilter(n *expr.Filter) (seqFn, error) {
 		pf := predFn
 		cur = func(fr *Frame) Iter {
 			base := NewLazySeq(prev(fr))
-			bi := base.Iterator()
 			lastFn := func() (int64, error) {
 				n, err := base.Len()
 				return int64(n), err
 			}
-			pos := int64(0)
-			return iterFunc(func() (xdm.Item, bool, error) {
-				for {
-					it, ok, err := bi.Next()
-					if err != nil || !ok {
-						return nil, false, err
-					}
-					pos++
-					keep, err := evalPredicate(pf, fr.focus(it, pos, lastFn), pos)
-					if err != nil {
-						return nil, false, err
-					}
-					if keep {
-						return it, true, nil
-					}
-				}
-			})
+			return &filterIter{fr: fr, pf: pf, bi: base.Iterator(), lastFn: lastFn}
 		}
 	}
 	return c.tag("filter", n, cur), nil
+}
+
+// filterIter applies one compiled predicate with its own focus per input
+// item. Batch pulls stage the input in a pooled scratch buffer and compact
+// the keepers in place.
+type filterIter struct {
+	fr      *Frame
+	pf      seqFn
+	bi      Iter
+	lastFn  func() (int64, error)
+	pos     int64
+	scratch []xdm.Item // borrowed from the pool on first batch pull
+	done    bool
+}
+
+func (f *filterIter) Next() (xdm.Item, bool, error) {
+	for {
+		it, ok, err := f.bi.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.pos++
+		keep, err := evalPredicate(f.pf, f.fr.focus(it, f.pos, f.lastFn), f.pos)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return it, true, nil
+		}
+	}
+}
+
+func (f *filterIter) release() {
+	if f.scratch != nil {
+		f.fr.dyn.putBuf(f.scratch)
+		f.scratch = nil
+	}
+}
+
+// NextBatch implements BatchIter.
+func (f *filterIter) NextBatch(buf []xdm.Item) (int, error) {
+	if f.done {
+		return 0, nil
+	}
+	if f.scratch == nil {
+		f.scratch = f.fr.dyn.getBuf()
+	}
+	for {
+		in := f.scratch
+		if len(buf) < len(in) {
+			in = in[:len(buf)] // keepers must fit the caller's buffer
+		}
+		k, err := nextBatch(f.bi, in)
+		n := 0
+		for i := 0; i < k; i++ {
+			it := in[i]
+			f.pos++
+			keep, kerr := evalPredicate(f.pf, f.fr.focus(it, f.pos, f.lastFn), f.pos)
+			if kerr != nil {
+				f.done = true
+				f.release()
+				return n, kerr
+			}
+			if keep {
+				buf[n] = it
+				n++
+			}
+		}
+		if err != nil || k == 0 {
+			f.done = true
+			f.release()
+			return n, err
+		}
+		if n > 0 {
+			return n, nil
+		}
+		// A full input batch with no keepers: pull again rather than
+		// returning a misleading n == 0 (which would signal the end).
+	}
 }
 
 // evalPredicate decides a predicate: a single numeric result is a position

@@ -47,6 +47,11 @@ type Dynamic struct {
 	indexes indexCache
 	memo    memoCache
 	steps   atomic.Uint64
+
+	// Batch buffer pool (see batch.go). Guarded by its own mutex: the
+	// Parallel engine shares one Dynamic across branch goroutines.
+	bufMu   sync.Mutex
+	bufFree [][]xdm.Item
 }
 
 // interruptStride bounds how often the Interrupt hook actually runs: once

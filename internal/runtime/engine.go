@@ -65,7 +65,12 @@ func (p *Prepared) Eval(dyn *Dynamic) (seq xdm.Sequence, err error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := drain(p.body(fr))
+	var out xdm.Sequence
+	if p.opts.NoBatch {
+		out, err = drain(p.body(fr))
+	} else {
+		out, err = drainBatched(fr.dyn, p.body(fr))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -102,55 +107,89 @@ func (p *Prepared) Iterator(dyn *Dynamic) (Iter, error) {
 // are serialized conventionally.
 func (p *Prepared) ExecuteToWriter(dyn *Dynamic, w io.Writer) (err error) {
 	defer recoverXQ(&err)
+	if dyn == nil {
+		dyn = &Dynamic{}
+	}
 	it, err := p.Iterator(dyn)
 	if err != nil {
 		return err
 	}
 	sw := tokens.NewStreamWriter(w)
+	// Token accounting is batched: the wrapper counts locally and the sink
+	// flushes the count into the profile once per result batch.
+	var batchTokens int64
 	write := sw.WriteToken
-	if dyn != nil && dyn.Prof != nil {
-		prof := dyn.Prof
+	if dyn.Prof != nil {
 		write = func(t tokens.Token) error {
-			prof.addXMLTokens(1)
+			batchTokens++
 			return sw.WriteToken(t)
 		}
 	}
-	prevAtomic := false
-	for {
-		if dyn != nil {
-			if err := dyn.CheckInterrupt(); err != nil {
-				return err
-			}
-		}
-		item, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	emit := func(item xdm.Item, prevAtomic bool) (bool, error) {
 		switch n := item.(type) {
 		case *StreamedNode:
-			prevAtomic = false
-			if err := n.EmitTokens(write); err != nil {
-				return err
-			}
+			return false, n.EmitTokens(write)
 		case xdm.Node:
-			prevAtomic = false
-			if err := emitStoredNode(n, write); err != nil {
-				return err
-			}
+			return false, emitStoredNode(n, write)
 		default:
 			a := item.(xdm.Atomic)
 			if prevAtomic {
 				if err := write(tokens.Token{Kind: tokens.KindText, Value: " "}); err != nil {
-					return err
+					return false, err
 				}
 			}
-			if err := write(tokens.Token{Kind: tokens.KindAtomic, Atom: a}); err != nil {
+			return true, write(tokens.Token{Kind: tokens.KindAtomic, Atom: a})
+		}
+	}
+	flushTokens := func() {
+		if batchTokens > 0 {
+			dyn.Prof.addXMLTokens(batchTokens)
+			batchTokens = 0
+		}
+	}
+	defer flushTokens()
+
+	prevAtomic := false
+	if p.opts.NoBatch {
+		for {
+			if err := dyn.CheckInterrupt(); err != nil {
 				return err
 			}
-			prevAtomic = true
+			item, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if prevAtomic, err = emit(item, prevAtomic); err != nil {
+				return err
+			}
+			flushTokens()
+		}
+		return sw.Close()
+	}
+
+	// Batched serializer sink: drain whole result batches per tick.
+	buf := dyn.getBuf()
+	defer dyn.putBuf(buf)
+	for {
+		n, err := nextBatch(it, buf)
+		for i := 0; i < n; i++ {
+			var eerr error
+			if prevAtomic, eerr = emit(buf[i], prevAtomic); eerr != nil {
+				return eerr
+			}
+		}
+		flushTokens()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		if err := dyn.CheckInterruptN(n); err != nil {
+			return err
 		}
 	}
 	return sw.Close()

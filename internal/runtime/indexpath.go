@@ -194,15 +194,34 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 				break
 			}
 		}
-		pos := 0
-		d := sn.D
-		return iterFunc(func() (xdm.Item, bool, error) {
-			if pos >= len(cur) {
-				return nil, false, nil
-			}
-			node := d.Node(cur[pos].ID)
-			pos++
-			return node, true, nil
-		})
+		return &postingsIter{d: sn.D, list: cur}
 	}, true
+}
+
+// postingsIter feeds the nodes of a structural-join result list, a whole
+// batch per pull.
+type postingsIter struct {
+	d    *store.Document
+	list structjoin.List
+	pos  int
+}
+
+func (p *postingsIter) Next() (xdm.Item, bool, error) {
+	if p.pos >= len(p.list) {
+		return nil, false, nil
+	}
+	node := p.d.Node(p.list[p.pos].ID)
+	p.pos++
+	return node, true, nil
+}
+
+// NextBatch implements BatchIter.
+func (p *postingsIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := 0
+	for n < len(buf) && p.pos < len(p.list) {
+		buf[n] = p.d.Node(p.list[p.pos].ID)
+		p.pos++
+		n++
+	}
+	return n, nil
 }

@@ -59,6 +59,7 @@ func (c *compiler) compileParallelSeq(n *expr.Seq, fns []seqFn) (seqFn, bool) {
 		}
 	}
 
+	dr := c.drainFor()
 	return func(fr *Frame) Iter {
 		// Force shared bindings so goroutines only read materialized data.
 		for _, id := range shared {
@@ -74,7 +75,7 @@ func (c *compiler) compileParallelSeq(n *expr.Seq, fns []seqFn) (seqFn, bool) {
 			go func(i int, fn seqFn) {
 				defer wg.Done()
 				defer recoverXQ(&errs[i])
-				results[i], errs[i] = drain(fn(fr))
+				results[i], errs[i] = dr(fr, fn(fr))
 			}(i, fn)
 		}
 		wg.Wait()

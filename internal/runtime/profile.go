@@ -74,28 +74,54 @@ func (p *Prepared) NewProfile(timed bool) *Profile {
 }
 
 // instrument wraps an operator's iterator with counting (and, in timed mode,
-// wall-clock timing).
+// wall-clock timing). The wrapper forwards batch pulls, so a vectorized
+// operator under profiling bumps its counters once per batch, not per item.
 func (p *Profile) instrument(id int, src Iter) Iter {
 	op := &p.ops[id]
 	op.starts.Add(1)
+	return &profIter{op: op, src: src, timed: p.timed}
+}
+
+// profIter is the profiling wrapper around one operator instantiation.
+type profIter struct {
+	op    *opCounters
+	src   Iter
+	timed bool
+}
+
+func (p *profIter) Next() (xdm.Item, bool, error) {
 	if !p.timed {
-		return iterFunc(func() (xdm.Item, bool, error) {
-			it, ok, err := src.Next()
-			if ok {
-				op.items.Add(1)
-			}
-			return it, ok, err
-		})
-	}
-	return iterFunc(func() (xdm.Item, bool, error) {
-		t0 := time.Now()
-		it, ok, err := src.Next()
-		op.nanos.Add(int64(time.Since(t0)))
+		it, ok, err := p.src.Next()
 		if ok {
-			op.items.Add(1)
+			p.op.items.Add(1)
 		}
 		return it, ok, err
-	})
+	}
+	t0 := time.Now()
+	it, ok, err := p.src.Next()
+	p.op.nanos.Add(int64(time.Since(t0)))
+	if ok {
+		p.op.items.Add(1)
+	}
+	return it, ok, err
+}
+
+// NextBatch implements BatchIter: one counter update per batch.
+func (p *profIter) NextBatch(buf []xdm.Item) (int, error) {
+	if !p.timed {
+		n, err := nextBatch(p.src, buf)
+		if n > 0 {
+			p.op.items.Add(int64(n))
+		}
+		return n, err
+	}
+	t0 := time.Now()
+	n, err := nextBatch(p.src, buf)
+	p.op.nanos.Add(int64(time.Since(t0)))
+	if n > 0 {
+		p.op.items.Add(int64(n))
+	}
+	return n, err
 }
 
 // The engine-counter adders below are nil-safe so call sites on the hot path

@@ -62,6 +62,16 @@ func (s *sliceIter) Next() (xdm.Item, bool, error) {
 	return it, true, nil
 }
 
+// NextBatch copies a chunk of the materialized sequence (BatchIter).
+func (s *sliceIter) NextBatch(buf []xdm.Item) (int, error) {
+	n := copy(buf, s.seq[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// remaining implements sizedIter.
+func (s *sliceIter) remaining() (int64, bool) { return int64(len(s.seq) - s.pos), true }
+
 // drain materializes an iterator into a sequence.
 func drain(it Iter) (xdm.Sequence, error) {
 	var out xdm.Sequence
@@ -118,25 +128,85 @@ func (s *LazySeq) at(i int) (xdm.Item, bool, error) {
 }
 
 // Iterator returns a fresh cursor over the sequence.
-func (s *LazySeq) Iterator() Iter {
-	i := 0
-	return iterFunc(func() (xdm.Item, bool, error) {
-		it, ok, err := s.at(i)
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		i++
-		return it, true, nil
-	})
+func (s *LazySeq) Iterator() Iter { return &lazyCursor{seq: s} }
+
+// lazyCursor is one consumer's position in a LazySeq. Batch pulls copy from
+// the cache when possible and otherwise pull a whole batch from the
+// producer, extending the cache for the other cursors.
+type lazyCursor struct {
+	seq *LazySeq
+	i   int
 }
 
-// All materializes the whole sequence.
+func (c *lazyCursor) Next() (xdm.Item, bool, error) {
+	it, ok, err := c.seq.at(c.i)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	c.i++
+	return it, true, nil
+}
+
+// remaining implements sizedIter, but only once the underlying sequence is
+// fully materialized without error — before that the count is unknown and
+// producing the items (and surfacing their errors) is required.
+func (c *lazyCursor) remaining() (int64, bool) {
+	if c.seq.src == nil && c.seq.err == nil {
+		return int64(len(c.seq.items) - c.i), true
+	}
+	return 0, false
+}
+
+// NextBatch implements BatchIter.
+func (c *lazyCursor) NextBatch(buf []xdm.Item) (int, error) {
+	s := c.seq
+	if c.i < len(s.items) {
+		n := copy(buf, s.items[c.i:])
+		c.i += n
+		return n, nil
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.src == nil {
+		return 0, nil
+	}
+	n, err := nextBatch(s.src, buf)
+	s.items = append(s.items, buf[:n]...)
+	c.i += n
+	if err != nil {
+		s.err = err
+		s.src = nil
+		return n, err
+	}
+	if n == 0 {
+		s.src = nil
+	}
+	return n, nil
+}
+
+// All materializes the whole sequence (batched pulls from the producer,
+// directly into the cache's spare capacity — see drainBatched).
 func (s *LazySeq) All() (xdm.Sequence, error) {
 	for s.src != nil {
-		if _, ok, err := s.at(len(s.items)); err != nil {
-			return nil, err
-		} else if !ok {
+		if len(s.items) == cap(s.items) {
+			grown := make(xdm.Sequence, len(s.items), 2*cap(s.items)+batchSize)
+			copy(grown, s.items)
+			s.items = grown
+		}
+		win := s.items[len(s.items):cap(s.items)]
+		if len(win) > maxBatch {
+			win = win[:maxBatch]
+		}
+		n, err := nextBatch(s.src, win)
+		s.items = s.items[:len(s.items)+n]
+		if err != nil {
+			s.err = err
+			s.src = nil
 			break
+		}
+		if n == 0 {
+			s.src = nil
 		}
 	}
 	if s.err != nil {

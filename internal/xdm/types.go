@@ -91,6 +91,11 @@ var typesByName = func() map[string]TypeCode {
 		}
 	}
 	m["xdt:untypedAtomic"] = TUntyped
+	// XQuery 1.0 hosts the duration subtypes in the xdt namespace, but later
+	// drafts (and every practical query) spell them xs:; accept both so the
+	// xs:yearMonthDuration("P1Y") constructor resolves.
+	m["xs:yearMonthDuration"] = TYearMonthDuration
+	m["xs:dayTimeDuration"] = TDayTimeDuration
 	return m
 }()
 

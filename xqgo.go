@@ -72,6 +72,11 @@ type Options struct {
 	// concurrently (horizontal parallelization). Opt-in: error timing may
 	// change (XQuery's non-determinism permits this).
 	Parallel bool
+	// DisableBatching turns off the vectorized batch pull fast path: every
+	// materializing consumer in the plan moves one item per virtual call.
+	// This is the item-at-a-time baseline used by the batched-vs-item
+	// benchmark rows and differential tests; leave it off for production.
+	DisableBatching bool
 }
 
 // Optimizer rule names for Options.DisableRules (experiment E10 ablations).
@@ -128,6 +133,7 @@ func Compile(src string, opts *Options) (*Query, error) {
 		UseStructuralJoins: opts.UseStructuralJoins,
 		MemoizeFunctions:   opts.MemoizeFunctions,
 		Parallel:           opts.Parallel,
+		NoBatch:            opts.DisableBatching,
 	})
 	if err != nil {
 		return nil, err
