@@ -1,8 +1,13 @@
 package xqgo_test
 
 import (
+	"context"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -159,4 +164,226 @@ func TestContextInterrupt(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("interrupt never fired")
 	}
+}
+
+// TestToSequenceNewKinds covers the scalar and slice conversions added with
+// the context-first API: sized ints, unsigned ints with range checking,
+// float32, and node/item slices.
+func TestToSequenceNewKinds(t *testing.T) {
+	doc := xqgo.MustParseString(`<r><a/><b/></r>`, "r.xml")
+	root := doc.Root()
+	cases := []struct {
+		name  string
+		in    any
+		want  []string
+		fails bool
+	}{
+		{name: "int32", in: int32(-9), want: []string{"-9"}},
+		{name: "uint", in: uint(7), want: []string{"7"}},
+		{name: "uint64", in: uint64(1 << 40), want: []string{"1099511627776"}},
+		{name: "uint64 max-int64", in: uint64(math.MaxInt64), want: []string{"9223372036854775807"}},
+		{name: "uint64 overflow", in: uint64(math.MaxInt64) + 1, fails: true},
+		{name: "uint overflow", in: uint(math.MaxUint64), fails: true},
+		{name: "float32", in: float32(1.5), want: []string{"1.5"}},
+		{name: "[]node", in: []xqgo.Node{root, root}, want: nil},
+		{name: "[]item", in: []xqgo.Item{root}, want: nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := xqgo.ToSequence(tc.in)
+			if tc.fails {
+				if err == nil {
+					t.Fatalf("ToSequence(%v) succeeded, want error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.want == nil { // node/item slices: check identity, not lexical form
+				in := reflect.ValueOf(tc.in)
+				if len(seq) != in.Len() {
+					t.Fatalf("len = %d, want %d", len(seq), in.Len())
+				}
+				for _, it := range seq {
+					if !it.IsNode() {
+						t.Errorf("item %T is not a node", it)
+					}
+				}
+				return
+			}
+			if len(seq) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(seq), len(tc.want))
+			}
+			for i, it := range seq {
+				got, err := xqgo.ItemString(it)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != tc.want[i] {
+					t.Errorf("item %d = %q, want %q", i, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBindValue: the error-returning form reports unsupported values instead
+// of panicking, and binds reach the query like Bind's.
+func TestBindValue(t *testing.T) {
+	ctx := xqgo.NewContext()
+	if err := ctx.BindValue("n", struct{}{}); err == nil {
+		t.Fatal("BindValue accepted an unconvertible value")
+	}
+	if err := ctx.BindValue("n", 6); err != nil {
+		t.Fatal(err)
+	}
+	q := xqgo.MustCompile(`declare variable $n external; $n * 7`, nil)
+	out, err := q.EvalString(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42" {
+		t.Errorf("result = %q, want 42", out)
+	}
+	// The panicking form still panics, for parity with the old contract.
+	defer func() {
+		if recover() == nil {
+			t.Error("Bind did not panic on an unconvertible value")
+		}
+	}()
+	xqgo.NewContext().Bind("x", struct{}{})
+}
+
+// TestEvalContextCancel: a canceled context.Context aborts evaluation — both
+// when canceled up front and when canceled mid-flight.
+func TestEvalContextCancel(t *testing.T) {
+	q := xqgo.MustCompile(`count(for $i in 1 to 1000000000 return $i)`, nil)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.EvalContext(pre, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled EvalContext returned %v, want context.Canceled", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.EvalContext(ctx, xqgo.NewContext())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation never aborted the evaluation")
+	}
+}
+
+// TestEvalContextKeepsInterruptHook: wiring a context.Context must compose
+// with, not replace, a WithInterrupt hook.
+func TestEvalContextKeepsInterruptHook(t *testing.T) {
+	q := xqgo.MustCompile(`count(for $i in 1 to 100000000 return $i)`, nil)
+	wantErr := errors.New("hook fired")
+	c := xqgo.NewContext().WithInterrupt(func() error { return wantErr })
+	if _, err := q.EvalContext(context.Background(), c); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want the WithInterrupt hook's error", err)
+	}
+}
+
+// TestItems exercises the range-over-func form: full iteration, early break
+// (which must close the underlying iterator), and error delivery.
+func TestItems(t *testing.T) {
+	q := xqgo.MustCompile(`for $i in (1 to 4) return $i * $i`, nil)
+	var got []string
+	for item, err := range q.Items(xqgo.NewContext()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := xqgo.ItemString(item)
+		got = append(got, s)
+	}
+	if strings.Join(got, ",") != "1,4,9,16" {
+		t.Errorf("items = %v", got)
+	}
+
+	// Early break stops the sequence without draining it.
+	n := 0
+	for _, err := range q.Items(xqgo.NewContext()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Errorf("broke after %d items, want 2", n)
+	}
+
+	// A runtime error arrives as the final yield.
+	qe := xqgo.MustCompile(`(1, 2, error(QName("urn:t", "boom"), "bang"))`, nil)
+	items, errs := 0, 0
+	for item, err := range qe.Items(xqgo.NewContext()) {
+		if err != nil {
+			errs++
+			if !strings.Contains(err.Error(), "bang") {
+				t.Errorf("err = %v", err)
+			}
+			continue
+		}
+		_ = item
+		items++
+	}
+	if items != 2 || errs != 1 {
+		t.Errorf("got %d items and %d errors, want 2 and 1", items, errs)
+	}
+}
+
+// TestIteratorClose: Close ends iteration immediately and is idempotent.
+func TestIteratorClose(t *testing.T) {
+	q := xqgo.MustCompile(`1 to 1000`, nil)
+	it, err := q.Iterator(xqgo.NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); err != nil || !ok {
+		t.Fatalf("first Next = (%v, %v)", ok, err)
+	}
+	it.Close()
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after Close = (%v, %v), want exhaustion", ok, err)
+	}
+	it.Close() // second Close must be a no-op
+}
+
+// TestIteratorContextCancel: IteratorContext observes cancellation between
+// pulls.
+func TestIteratorContextCancel(t *testing.T) {
+	q := xqgo.MustCompile(`for $i in 1 to 1000000000 return $i`, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := q.IteratorContext(ctx, xqgo.NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, ok, err := it.Next(); err != nil || !ok {
+		t.Fatalf("first Next = (%v, %v)", ok, err)
+	}
+	cancel()
+	for i := 0; i < 1<<20; i++ {
+		if _, ok, err := it.Next(); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		} else if !ok {
+			t.Fatal("iterator ended without an error after cancel")
+		}
+	}
+	t.Fatal("cancellation never surfaced")
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"xqgo"
 	"xqgo/internal/workload"
@@ -13,8 +15,8 @@ import (
 
 // benchRow is one machine-readable benchmark result (ns per full operation).
 type benchRow struct {
-	Name   string `json:"name"`
-	NsPerOp int64 `json:"nsPerOp"`
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"nsPerOp"`
 }
 
 // benchReport is the JSON artifact written by -json (BENCH_PR3.json in CI).
@@ -26,6 +28,22 @@ type benchReport struct {
 	// Batch holds the batched-vs-item comparison: the same plan timed with
 	// the vectorized NextBatch path (default) and with DisableBatching.
 	Batch []batchRow `json:"batchVsItem"`
+	// Ingest holds the streaming-ingestion comparison: the same query over
+	// the same serialized document, parsed eagerly up front, lazily without
+	// projection, and lazily with static path projection.
+	Ingest []ingestRow `json:"ingest"`
+}
+
+// ingestRow is one streaming-ingestion measurement. Node/byte counters come
+// from the engine profile of a single instrumented run; timings are
+// median-of-reps like every other row.
+type ingestRow struct {
+	Name         string `json:"name"`
+	NsPerOp      int64  `json:"nsPerOp"`
+	TTFBNs       int64  `json:"ttfbNs"`       // time to first output byte
+	NodesBuilt   int64  `json:"nodesBuilt"`   // nodes materialized into the store
+	NodesSkipped int64  `json:"nodesSkipped"` // tokenized but skipped by projection
+	BytesParsed  int64  `json:"bytesParsed"`  // input bytes pulled on demand
 }
 
 // batchRow is one batched-vs-item comparison measurement.
@@ -147,6 +165,80 @@ func (r *runner) runJSON(path string) error {
 			c.name, db.Nanoseconds(), di.Nanoseconds(), speedup)
 	}
 
+	// Streaming-ingestion comparison: one serialized Bib document, one
+	// selective query, three ingestion modes. The projected row must build
+	// strictly fewer nodes than the full lazy row, and lazy full parsing
+	// must stay within an overhead budget of the eager parser (the
+	// no-regression gate on full-parse throughput).
+	bibDoc := workload.Bib(workload.BibConfig{Books: 4000, Seed: 7})
+	var bibBuf bytes.Buffer
+	if err := workload.WriteXML(&bibBuf, bibDoc); err != nil {
+		return err
+	}
+	bibXML := bibBuf.Bytes()
+	ingestQ := `/bib/book[@year = "1994"]/title`
+	projQ := mustCompile(ingestQ, nil)
+	fullQ := mustCompile(ingestQ, &xqgo.Options{DisableProjection: true})
+
+	type ingestMode struct {
+		name string
+		run  func(record bool) (ttfb int64, counters xqgo.EngineCounters)
+	}
+	streamRun := func(q *xqgo.Query) func(bool) (int64, xqgo.EngineCounters) {
+		return func(record bool) (int64, xqgo.EngineCounters) {
+			ctx := xqgo.NewContext().WithStreamingInput(bytes.NewReader(bibXML), "bench:bib")
+			var prof *xqgo.Profile
+			if record {
+				prof = q.NewCountersProfile()
+				ctx.WithProfile(prof)
+			}
+			fw := newFirstByteWriter()
+			if err := q.Execute(ctx, fw); err != nil {
+				panic(err)
+			}
+			var c xqgo.EngineCounters
+			if record {
+				c = prof.Report().Counters
+			}
+			return fw.firstByte.Nanoseconds(), c
+		}
+	}
+	modes := []ingestMode{
+		{"ingest/eager-full", func(record bool) (int64, xqgo.EngineCounters) {
+			d, err := xqgo.Parse(bytes.NewReader(bibXML), "bench:bib")
+			if err != nil {
+				panic(err)
+			}
+			fw := newFirstByteWriter()
+			if err := fullQ.Execute(ctxFor(d), fw); err != nil {
+				panic(err)
+			}
+			return fw.firstByte.Nanoseconds(), xqgo.EngineCounters{DocNodesBuilt: int64(d.NumNodes())}
+		}},
+		{"ingest/stream-full", streamRun(fullQ)},
+		{"ingest/stream-projected", streamRun(projQ)},
+	}
+	ingestNs := map[string]int64{}
+	ingestNodes := map[string]int64{}
+	for _, m := range modes {
+		var ttfb int64
+		var counters xqgo.EngineCounters
+		d := r.timeIt(func() { ttfb, _ = m.run(false) })
+		_, counters = m.run(true)
+		ingestNs[m.name] = d.Nanoseconds()
+		ingestNodes[m.name] = counters.DocNodesBuilt
+		rep.Ingest = append(rep.Ingest, ingestRow{
+			Name:         m.name,
+			NsPerOp:      d.Nanoseconds(),
+			TTFBNs:       ttfb,
+			NodesBuilt:   counters.DocNodesBuilt,
+			NodesSkipped: counters.NodesSkipped,
+			BytesParsed:  counters.BytesParsedOnDemand,
+		})
+		fmt.Fprintf(os.Stderr, "xqbench: %-28s %12d ns/op  ttfb %10d ns  nodes %8d  skipped %8d  bytes %9d\n",
+			m.name, d.Nanoseconds(), ttfb, counters.DocNodesBuilt, counters.NodesSkipped, counters.BytesParsedOnDemand)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -167,5 +259,33 @@ func (r *runner) runJSON(path string) error {
 	if worst < 0.85 {
 		return fmt.Errorf("batching regression: worst batched/item speedup %.2fx < 0.85x", worst)
 	}
+	// Ingestion gates: projection must actually reduce materialization, and
+	// lazy full parsing (projection off, everything materialized on demand)
+	// must stay within 2x of the eager parser on the same input — the
+	// no-regression guard for plain full-parse throughput.
+	if pn, fn := ingestNodes["ingest/stream-projected"], ingestNodes["ingest/stream-full"]; pn >= fn {
+		return fmt.Errorf("projection regression: projected ingestion built %d nodes, full built %d", pn, fn)
+	}
+	if sn, en := ingestNs["ingest/stream-full"], ingestNs["ingest/eager-full"]; float64(sn) > 2.0*float64(en) {
+		return fmt.Errorf("full-parse throughput regression: lazy full ingestion %d ns/op > 2x eager %d ns/op", sn, en)
+	}
 	return nil
+}
+
+// firstByteWriter discards output, recording the elapsed time from creation
+// to the first written byte (the service-visible time-to-first-answer).
+type firstByteWriter struct {
+	start     time.Time
+	firstByte time.Duration
+}
+
+func newFirstByteWriter() *firstByteWriter {
+	return &firstByteWriter{start: time.Now()}
+}
+
+func (f *firstByteWriter) Write(p []byte) (int, error) {
+	if f.firstByte == 0 && len(p) > 0 {
+		f.firstByte = time.Since(f.start)
+	}
+	return len(p), nil
 }

@@ -10,6 +10,8 @@
 //	curl -X PUT --data-binary @bib.xml localhost:8090/documents/bib
 //	curl -d '{"query":"count(/bib/book)","doc":"bib"}' localhost:8090/query
 //	curl -d '{"query":"count(/bib/book)","doc":"bib"}' 'localhost:8090/query?explain=1'
+//	curl -H 'Content-Type: application/xml' --data-binary @bib.xml \
+//	     'localhost:8090/query?query=/bib/book/title'   # streamed ingestion
 //	curl localhost:8090/stats
 //	curl localhost:8090/metrics   # Prometheus text exposition
 //	curl localhost:8090/slow      # slow-query log with execution profiles
@@ -62,11 +64,11 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		PlanCacheSize:  *planCache,
-		DefaultTimeout: *timeout,
-		MaxResultBytes: *maxResult,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		PlanCacheSize:      *planCache,
+		DefaultTimeout:     *timeout,
+		MaxResultBytes:     *maxResult,
 		SlowQueryThreshold: *slowAfter,
 		SlowLogSize:        *slowSize,
 		DisableProfiling:   *noProf,

@@ -1,8 +1,11 @@
 package xqgo_test
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"xqgo"
 )
@@ -57,4 +60,41 @@ func ExampleDocument_BuildIndex() {
 	// Output:
 	// 2
 	// 3
+}
+
+func ExampleQuery_EvalContext() {
+	q, _ := xqgo.Compile(`sum(1 to 100)`, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	seq, _ := q.EvalContext(ctx, xqgo.NewContext())
+	s, _ := xqgo.ItemString(seq[0])
+	fmt.Println(s)
+	// Output: 5050
+}
+
+func ExampleQuery_Items() {
+	q, _ := xqgo.Compile(`for $w in ("ab", "cde", "f") return string-length($w)`, nil)
+	for item, err := range q.Items(xqgo.NewContext()) {
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		s, _ := xqgo.ItemString(item)
+		fmt.Println(s)
+	}
+	// Output:
+	// 2
+	// 3
+	// 1
+}
+
+func ExampleContext_WithStreamingInput() {
+	// The input document is parsed on demand while the result is produced;
+	// subtrees the query cannot touch are skipped via static projection.
+	xml := `<bib><book><title>TCP/IP Illustrated</title><price>65.95</price></book></bib>`
+	q, _ := xqgo.Compile(`/bib/book/title`, nil)
+	ctx := xqgo.NewContext().WithStreamingInput(strings.NewReader(xml), "bib.xml")
+	_ = q.Execute(ctx, os.Stdout)
+	fmt.Println()
+	// Output: <title>TCP/IP Illustrated</title>
 }

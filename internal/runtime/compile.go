@@ -5,6 +5,7 @@ import (
 
 	"xqgo/internal/expr"
 	"xqgo/internal/functions"
+	"xqgo/internal/projection"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xtypes"
 )
@@ -34,6 +35,10 @@ type Options struct {
 	// This is the item-at-a-time baseline for the batched-vs-item
 	// benchmark rows and the differential test.
 	NoBatch bool
+	// Projection is the query's static path set (optimizer.ExtractPaths):
+	// lazily ingested documents consult it to skip unreachable subtrees.
+	// Nil keeps everything.
+	Projection *projection.Paths
 }
 
 // seqFn is a compiled expression: evaluate against a frame, get an iterator.

@@ -200,12 +200,18 @@ func (p *pathIter) Next() (xdm.Item, bool, error) {
 	}
 }
 
-// NextBatch implements BatchIter.
+// NextBatch implements BatchIter. While a streamed input is still being
+// parsed, demand drops to item granularity: left prefetch is disabled and
+// the fill returns as soon as it holds anything, so a batch never forces
+// input beyond the items it delivers (short batches mean "pull again", so
+// this is invisible to consumers). Once ingestion completes — or when there
+// is no streamed input at all — batches fill normally.
 func (p *pathIter) NextBatch(buf []xdm.Item) (int, error) {
+	lazy := p.fr.dyn.streamingLazy()
 	n := 0
 	for n < len(buf) {
 		if p.cur == nil {
-			ok, err := p.advance(true)
+			ok, err := p.advance(!lazy)
 			if err != nil || !ok {
 				return n, err
 			}
@@ -218,6 +224,10 @@ func (p *pathIter) NextBatch(buf []xdm.Item) (int, error) {
 		}
 		if k == 0 {
 			p.cur = nil
+			continue
+		}
+		if lazy {
+			break
 		}
 	}
 	if err := p.fr.dyn.CheckInterruptN(n); err != nil {
@@ -360,10 +370,16 @@ func filterNodes(nodes []xdm.Node, test xtypes.NodeTest, principal xdm.NodeKind)
 }
 
 // storeChildScan walks first-child/next-sibling links without allocating
-// the child slice.
+// the child slice. The next-sibling link of a delivered child is computed
+// only when the next child is demanded: on a lazily ingested document that
+// link may require parsing past the child (for the last child, to the
+// parent's end tag), so eager lookahead would force input the caller never
+// asked for — the document's only child would drain the stream to EOF
+// before being returned at all.
 type storeChildScan struct {
 	d         *store.Document
-	cur       int32
+	cur       int32 // next candidate child id, or -1 when exhausted
+	yielded   bool  // cur was delivered; advance to its sibling before use
 	test      xtypes.NodeTest
 	principal xdm.NodeKind
 }
@@ -372,28 +388,46 @@ func storeChildIter(n *store.Node, test xtypes.NodeTest, principal xdm.NodeKind)
 	return &storeChildScan{d: n.D, cur: n.D.FirstChildID(n.ID), test: test, principal: principal}
 }
 
-func (s *storeChildScan) Next() (xdm.Item, bool, error) {
-	for s.cur >= 0 {
-		id := s.cur
-		s.cur = s.d.NextSiblingID(id)
-		child := &store.Node{D: s.d, ID: id}
-		if s.test.MatchesNode(child, s.principal) {
-			return child, true, nil
+// scan returns the next matching child, or nil at the end.
+func (s *storeChildScan) scan() *store.Node {
+	for {
+		if s.yielded {
+			s.cur = s.d.NextSiblingID(s.cur)
+			s.yielded = false
 		}
+		if s.cur < 0 {
+			return nil
+		}
+		child := &store.Node{D: s.d, ID: s.cur}
+		s.yielded = true
+		if s.test.MatchesNode(child, s.principal) {
+			return child
+		}
+	}
+}
+
+func (s *storeChildScan) Next() (xdm.Item, bool, error) {
+	if n := s.scan(); n != nil {
+		return n, true, nil
 	}
 	return nil, false, nil
 }
 
-// NextBatch implements BatchIter.
+// NextBatch implements BatchIter. While the document is still being parsed
+// the fill stops after each item: discovering whether another child exists
+// can force arbitrary input, and a short batch legitimately means "pull
+// again", so demand stays item-granular until ingestion completes.
 func (s *storeChildScan) NextBatch(buf []xdm.Item) (int, error) {
 	n := 0
-	for n < len(buf) && s.cur >= 0 {
-		id := s.cur
-		s.cur = s.d.NextSiblingID(id)
-		child := &store.Node{D: s.d, ID: id}
-		if s.test.MatchesNode(child, s.principal) {
-			buf[n] = child
-			n++
+	for n < len(buf) {
+		nd := s.scan()
+		if nd == nil {
+			break
+		}
+		buf[n] = nd
+		n++
+		if s.d.Lazy() {
+			break
 		}
 	}
 	return n, nil

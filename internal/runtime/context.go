@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xqgo/internal/projection"
 	"xqgo/internal/store"
 	"xqgo/internal/structjoin"
 	"xqgo/internal/xdm"
@@ -37,6 +38,11 @@ type Dynamic struct {
 	// middle of an aggregate that never yields an item to the caller.
 	Interrupt func() error
 
+	// Stream, when non-nil, is a pending streaming XML input: it becomes
+	// the context document (and resolves under its URI) and is parsed
+	// incrementally as the query pulls, under the plan's projection.
+	Stream *StreamState
+
 	// Prof, when non-nil, collects execution statistics (see Profile). The
 	// engine only ever nil-checks this pointer on the hot path, so leaving
 	// it nil keeps profiling free.
@@ -47,6 +53,12 @@ type Dynamic struct {
 	indexes indexCache
 	memo    memoCache
 	steps   atomic.Uint64
+	// proj is the executing plan's static projection, installed by
+	// newRootFrame for the streamed-input parse. Atomic because a shared
+	// Context may back concurrent executions of the same plan (every
+	// writer stores the same plan's projection, so any observed value is
+	// correct for the stream's one-shot parse).
+	proj atomic.Pointer[projection.Paths]
 
 	// Batch buffer pool (see batch.go). Guarded by its own mutex: the
 	// Parallel engine shares one Dynamic across branch goroutines.
@@ -260,8 +272,15 @@ func (f *Frame) Size() (int64, error) {
 	return ff.ctxLast()
 }
 
-// Doc resolves a document URI.
-func (f *Frame) Doc(uri string) (xdm.Node, error) { return f.dyn.resolver().Doc(uri) }
+// Doc resolves a document URI. A pending streaming input resolves under its
+// own URI (without consulting the registry); everything else goes through
+// the resolver.
+func (f *Frame) Doc(uri string) (xdm.Node, error) {
+	if s := f.dyn.Stream; s != nil && uri == s.URI() {
+		return s.docFor(f.dyn).RootNode(), nil
+	}
+	return f.dyn.resolver().Doc(uri)
+}
 
 // Collection resolves a collection URI.
 func (f *Frame) Collection(uri string) (xdm.Sequence, error) {

@@ -18,6 +18,12 @@ func (p *Prepared) newRootFrame(dyn *Dynamic) (*Frame, error) {
 	if dyn == nil {
 		dyn = &Dynamic{}
 	}
+	dyn.proj.Store(p.opts.Projection)
+	if dyn.Stream != nil && dyn.ContextItem == nil {
+		// The streamed input is the context document; parsing starts here
+		// but only proceeds as far as the query pulls.
+		dyn.ContextItem = dyn.Stream.docFor(dyn).RootNode()
+	}
 	fr := rootFrame(dyn)
 	for _, g := range p.globals {
 		var val *LazySeq

@@ -50,6 +50,11 @@ type engineCounters struct {
 	indexBuilds       atomic.Int64
 	structJoins       atomic.Int64
 	interruptPolls    atomic.Int64
+
+	// Ingestion counters (lazy/projected parsing, see internal/xmlparse).
+	docNodesBuilt atomic.Int64
+	nodesSkipped  atomic.Int64
+	bytesParsed   atomic.Int64
 }
 
 // Profile collects execution statistics for one execution of a Prepared
@@ -175,6 +180,24 @@ func (p *Profile) addInterruptPoll() {
 	}
 }
 
+func (p *Profile) addDocNodesBuilt(n int64) {
+	if p != nil {
+		p.c.docNodesBuilt.Add(n)
+	}
+}
+
+func (p *Profile) addNodesSkipped(n int64) {
+	if p != nil {
+		p.c.nodesSkipped.Add(n)
+	}
+}
+
+func (p *Profile) addBytesParsed(n int64) {
+	if p != nil {
+		p.c.bytesParsed.Add(n)
+	}
+}
+
 // OpReport is the per-operator row of a profile report.
 type OpReport struct {
 	ID     int    `json:"id"`
@@ -197,6 +220,12 @@ type CounterReport struct {
 	IndexBuilds       int64 `json:"indexBuilds"`
 	StructJoins       int64 `json:"structJoins"`
 	InterruptPolls    int64 `json:"interruptPolls"`
+	// Ingestion: nodes appended to lazily parsed documents, nodes skipped
+	// by projection (tokenized but never built), and input bytes pulled on
+	// demand.
+	DocNodesBuilt       int64 `json:"docNodesBuilt"`
+	NodesSkipped        int64 `json:"nodesSkipped"`
+	BytesParsedOnDemand int64 `json:"bytesParsedOnDemand"`
 }
 
 // Report is a point-in-time snapshot of a Profile.
@@ -224,14 +253,17 @@ func (p *Profile) Report() Report {
 		})
 	}
 	rep.Counters = CounterReport{
-		XMLTokens:         p.c.xmlTokens.Load(),
-		NodesMaterialized: p.c.nodesMaterialized.Load(),
-		MemoHits:          p.c.memoHits.Load(),
-		MemoMisses:        p.c.memoMisses.Load(),
-		IndexHits:         p.c.indexHits.Load(),
-		IndexBuilds:       p.c.indexBuilds.Load(),
-		StructJoins:       p.c.structJoins.Load(),
-		InterruptPolls:    p.c.interruptPolls.Load(),
+		XMLTokens:           p.c.xmlTokens.Load(),
+		NodesMaterialized:   p.c.nodesMaterialized.Load(),
+		MemoHits:            p.c.memoHits.Load(),
+		MemoMisses:          p.c.memoMisses.Load(),
+		IndexHits:           p.c.indexHits.Load(),
+		IndexBuilds:         p.c.indexBuilds.Load(),
+		StructJoins:         p.c.structJoins.Load(),
+		InterruptPolls:      p.c.interruptPolls.Load(),
+		DocNodesBuilt:       p.c.docNodesBuilt.Load(),
+		NodesSkipped:        p.c.nodesSkipped.Load(),
+		BytesParsedOnDemand: p.c.bytesParsed.Load(),
 	}
 	return rep
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -17,7 +19,13 @@ import (
 //	DELETE   /documents/{name}   evict a document
 //	POST     /collections/{name} define a collection (body = JSON name list)
 //	POST     /query              run a query (body = queryRequest JSON);
-//	                             ?explain=1 adds an execution profile
+//	                             ?explain=1 adds an execution profile.
+//	                             With Content-Type application/xml (or
+//	                             text/xml) the body is instead a streamed
+//	                             XML input document: the query comes from
+//	                             ?query=, the body is parsed incrementally
+//	                             (projected to the query's path set) while
+//	                             the XML result streams back
 //	GET      /stats              counters, latency percentiles, cache ratios
 //	GET      /metrics            Prometheus text exposition
 //	GET      /slow               slow-query log (newest first, with profiles)
@@ -120,6 +128,10 @@ type slowLogResponse struct {
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/xml") || strings.HasPrefix(ct, "text/xml") {
+		s.handleStreamQuery(w, r)
+		return
+	}
 	var qr queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
 		writeError(w, &BadRequestError{Err: fmt.Errorf("invalid request body: %v", err)})
@@ -157,6 +169,33 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Micros:  res.Elapsed.Microseconds(),
 		Profile: res.Profile,
 	})
+}
+
+// handleStreamQuery is the streaming-ingestion form of POST /query: the
+// request body is the XML input document (parsed on demand, projected to
+// the query's static path set) and the serialized result streams back as
+// it is produced — output can begin before the body is fully read. The
+// query text comes from the ?query= parameter; ?timeoutMs= and
+// ?maxResultBytes= override the configured limits.
+func (s *Service) handleStreamQuery(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	query := qs.Get("query")
+	if query == "" {
+		writeError(w, &BadRequestError{Err: errors.New("missing \"query\" parameter")})
+		return
+	}
+	timeoutMs, _ := strconv.ParseInt(qs.Get("timeoutMs"), 10, 64)
+	maxBytes, _ := strconv.ParseInt(qs.Get("maxResultBytes"), 10, 64)
+	req := Request{
+		Query:          query,
+		Body:           r.Body,
+		Timeout:        time.Duration(timeoutMs) * time.Millisecond,
+		MaxResultBytes: maxBytes,
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	if _, err := s.Execute(r.Context(), req, w); err != nil {
+		writeError(w, err) // no-op on the status line if already streaming
+	}
 }
 
 // normalizeVars converts JSON-decoded variable values into the Go kinds

@@ -96,6 +96,9 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	engineCounter("index_builds_total", "Structural-join index builds.", engine.IndexBuilds)
 	engineCounter("struct_joins_total", "Stack-tree structural joins executed.", engine.StructJoins)
 	engineCounter("interrupt_polls_total", "Engine interrupt-hook polls.", engine.InterruptPolls)
+	engineCounter("doc_nodes_built_total", "Nodes appended to lazily parsed streaming documents.", engine.DocNodesBuilt)
+	engineCounter("nodes_skipped_total", "Nodes skipped by static path projection (tokenized, never built).", engine.NodesSkipped)
+	engineCounter("bytes_parsed_on_demand_total", "Streaming-input bytes pulled by on-demand parsing.", engine.BytesParsedOnDemand)
 
 	gauge("xqd_uptime_seconds", "Seconds since service start.")
 	fmt.Fprintf(w, "xqd_uptime_seconds %s\n",

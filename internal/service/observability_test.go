@@ -145,7 +145,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}{
 		{0, 0},
 		{100 * time.Microsecond, 0},
-		{500 * time.Microsecond, 0},  // boundary is inclusive (le)
+		{500 * time.Microsecond, 0}, // boundary is inclusive (le)
 		{500*time.Microsecond + 1, 1},
 		{time.Millisecond, 1},
 		{2 * time.Millisecond, 2},

@@ -116,6 +116,12 @@ type Request struct {
 	// ContextDoc, when non-empty, names a catalog document used as the
 	// initial context item (so /a/b paths work without fn:doc).
 	ContextDoc string
+	// Body, when non-nil, is a streaming XML input for this request: it is
+	// parsed incrementally while the query runs, projected down to the
+	// subtrees the query's static path set can reach, and becomes the
+	// context item when ContextDoc is empty. It also resolves under
+	// fn:doc("request:body"). The reader is consumed by the execution.
+	Body io.Reader
 	// Vars binds external variables; values go through xqgo.ToSequence.
 	Vars map[string]any
 	// Timeout overrides Config.DefaultTimeout when positive.
@@ -246,7 +252,7 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 			return &BadRequestError{Err: cerr}
 		}
 		q = plan
-		qctx, berr := s.buildContext(rctx, req)
+		qctx, berr := s.buildContext(req)
 		if berr != nil {
 			return berr
 		}
@@ -268,7 +274,7 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 		if limit < 0 {
 			limit = -1
 		}
-		return q.Execute(qctx, &limitWriter{w: w, rem: limit})
+		return q.ExecuteContext(rctx, qctx, &limitWriter{w: w, rem: limit})
 	})
 	elapsed = time.Since(start)
 	oc := classify(err)
@@ -307,9 +313,10 @@ func classify(err error) outcome {
 // buildContext assembles the per-request evaluation context: every catalog
 // document is visible to fn:doc(name), collections to fn:collection(name),
 // the context document's shared structural-join index is seeded, external
-// variables are bound, and the request deadline is installed as the
-// engine's interrupt hook.
-func (s *Service) buildContext(rctx context.Context, req Request) (*xqgo.Context, error) {
+// variables are bound, and a streaming request body (when present) is
+// attached. The request deadline is wired by the context-first execution
+// call (ExecuteContext), not here.
+func (s *Service) buildContext(req Request) (*xqgo.Context, error) {
 	qctx := xqgo.NewContext()
 	entries := s.Catalog.snapshot()
 	for _, e := range entries {
@@ -346,6 +353,12 @@ func (s *Service) buildContext(rctx context.Context, req Request) (*xqgo.Context
 		}
 		qctx.Bind(name, seq)
 	}
-	qctx.WithInterrupt(rctx.Err)
+	if req.Body != nil {
+		qctx.WithStreamingInput(req.Body, StreamBodyURI)
+	}
 	return qctx, nil
 }
+
+// StreamBodyURI is the URI a streamed request body resolves under
+// (fn:doc("request:body")).
+const StreamBodyURI = "request:body"

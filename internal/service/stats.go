@@ -32,6 +32,10 @@ type engineTotals struct {
 	IndexBuilds       int64 `json:"indexBuilds"`
 	StructJoins       int64 `json:"structJoins"`
 	InterruptPolls    int64 `json:"interruptPolls"`
+	// Streaming-ingestion totals (lazy parse with path projection).
+	DocNodesBuilt       int64 `json:"docNodesBuilt"`
+	NodesSkipped        int64 `json:"nodesSkipped"`
+	BytesParsedOnDemand int64 `json:"bytesParsedOnDemand"`
 }
 
 // statsCore accumulates request outcomes. Latencies cover the whole
@@ -136,6 +140,9 @@ func (s *statsCore) addEngine(c xqgo.EngineCounters) {
 	s.engine.IndexBuilds += c.IndexBuilds
 	s.engine.StructJoins += c.StructJoins
 	s.engine.InterruptPolls += c.InterruptPolls
+	s.engine.DocNodesBuilt += c.DocNodesBuilt
+	s.engine.NodesSkipped += c.NodesSkipped
+	s.engine.BytesParsedOnDemand += c.BytesParsedOnDemand
 }
 
 // histogram snapshots the bucket counts (non-cumulative), sum and count.

@@ -129,14 +129,17 @@ func (b *Builder) Attr(q xdm.QName, value string) error {
 	if b.contentSeen {
 		return fmt.Errorf("store: attribute %s after element content", q)
 	}
-	// duplicate check
+	// Duplicate check comparing interned name indexes directly: the builder
+	// may be running under the frontier lock of a lazy parse, so it must not
+	// re-enter the locking Document accessors.
+	nameIdx := b.doc.Names.Intern(q)
 	from, to := owner+1, int32(len(b.doc.kind))
 	for i := from; i < to; i++ {
-		if b.doc.kind[i] == xdm.AttributeNode && b.doc.NameOf(i).Equal(q) {
+		if b.doc.kind[i] == xdm.AttributeNode && b.doc.name[i] == nameIdx {
 			return fmt.Errorf("store: duplicate attribute %s", q)
 		}
 	}
-	id := b.appendNode(xdm.AttributeNode, b.doc.Names.Intern(q), b.texts.Intern(value))
+	id := b.appendNode(xdm.AttributeNode, nameIdx, b.texts.Intern(value))
 	if b.lastAttr >= 0 {
 		b.doc.nextSib[b.lastAttr] = id
 	}
@@ -228,6 +231,28 @@ func (b *Builder) Done() (*Document, error) {
 	return b.doc, nil
 }
 
+// isOpen reports whether element id is still on the open stack. The stack
+// holds strictly increasing ids (pre-order), so binary search applies.
+func (b *Builder) isOpen(id int32) bool {
+	lo, hi := 0, len(b.stack)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case b.stack[mid] == id:
+			return true
+		case b.stack[mid] < id:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// NodeCount returns the number of nodes appended so far (valid mid-build;
+// used for materialization accounting).
+func (b *Builder) NodeCount() int32 { return int32(len(b.doc.kind)) }
+
 // CopyNode deep-copies a node (from any document) into the current build
 // position, giving the copy a fresh identity — the semantics of including an
 // existing node in a constructor's content. Document nodes are replaced by
@@ -239,41 +264,42 @@ func (b *Builder) CopyNode(n xdm.Node) error {
 	return b.copyGeneric(n)
 }
 
+// copyStoreTree copies via the frontier-aware accessors: the source may be
+// an in-progress lazy document (the destination never is — it belongs to
+// this builder).
 func (b *Builder) copyStoreTree(d *Document, id int32) error {
-	switch d.kind[id] {
+	switch d.Kind(id) {
 	case xdm.DocumentNode:
-		for c := d.firstChild[id]; c >= 0; c = d.nextSib[c] {
+		for c := d.FirstChildID(id); c >= 0; c = d.NextSiblingID(c) {
 			if err := b.copyStoreTree(d, c); err != nil {
 				return err
 			}
 		}
 	case xdm.ElementNode:
 		b.StartElement(d.NameOf(id))
-		for _, ns := range d.NS {
-			if ns.Elem == id {
-				b.NSDecl(ns.Prefix, ns.URI)
-			}
+		for _, ns := range d.NSDecls(id) {
+			b.NSDecl(ns.Prefix, ns.URI)
 		}
 		from, to := d.AttrRange(id)
 		for i := from; i < to; i++ {
-			if err := b.Attr(d.NameOf(i), d.value[i]); err != nil {
+			if err := b.Attr(d.NameOf(i), d.Value(i)); err != nil {
 				return err
 			}
 		}
-		for c := d.firstChild[id]; c >= 0; c = d.nextSib[c] {
+		for c := d.FirstChildID(id); c >= 0; c = d.NextSiblingID(c) {
 			if err := b.copyStoreTree(d, c); err != nil {
 				return err
 			}
 		}
 		b.EndElement()
 	case xdm.AttributeNode:
-		return b.Attr(d.NameOf(id), d.value[id])
+		return b.Attr(d.NameOf(id), d.Value(id))
 	case xdm.TextNode:
-		b.Text(d.value[id])
+		b.Text(d.Value(id))
 	case xdm.CommentNode:
-		b.Comment(d.value[id])
+		b.Comment(d.Value(id))
 	case xdm.PINode:
-		b.PI(d.NameOf(id).Local, d.value[id])
+		b.PI(d.NameOf(id).Local, d.Value(id))
 	}
 	return nil
 }

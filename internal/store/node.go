@@ -1,8 +1,6 @@
 package store
 
 import (
-	"strings"
-
 	"xqgo/internal/xdm"
 )
 
@@ -20,7 +18,7 @@ var _ xdm.Node = (*Node)(nil)
 func (n *Node) IsNode() bool { return true }
 
 // Kind returns the node kind.
-func (n *Node) Kind() xdm.NodeKind { return n.D.kind[n.ID] }
+func (n *Node) Kind() xdm.NodeKind { return n.D.Kind(n.ID) }
 
 // NodeName returns the node's expanded name.
 func (n *Node) NodeName() xdm.QName { return n.D.NameOf(n.ID) }
@@ -30,32 +28,11 @@ func (n *Node) NodeName() xdm.QName { return n.D.NameOf(n.ID) }
 // value.
 func (n *Node) StringValue() string {
 	d, id := n.D, n.ID
-	switch d.kind[id] {
+	switch d.Kind(id) {
 	case xdm.ElementNode, xdm.DocumentNode:
-		end := d.endID[id]
-		// Fast path: single text child.
-		var b strings.Builder
-		first := true
-		single := ""
-		for i := id + 1; i <= end; i++ {
-			if d.kind[i] == xdm.TextNode {
-				if first {
-					single = d.value[i]
-					first = false
-				} else {
-					if b.Len() == 0 {
-						b.WriteString(single)
-					}
-					b.WriteString(d.value[i])
-				}
-			}
-		}
-		if b.Len() > 0 {
-			return b.String()
-		}
-		return single
+		return d.textContent(id)
 	default:
-		return d.value[id]
+		return d.Value(id)
 	}
 }
 
@@ -66,7 +43,7 @@ func (n *Node) TypedValue() xdm.Atomic { return xdm.NewUntyped(n.StringValue()) 
 
 // Parent returns the parent node, or nil at the tree root.
 func (n *Node) Parent() xdm.Node {
-	p := n.D.parent[n.ID]
+	p := n.D.ParentID(n.ID)
 	if p < 0 {
 		return nil
 	}
@@ -76,7 +53,7 @@ func (n *Node) Parent() xdm.Node {
 // ChildrenOf returns the child nodes (attributes excluded) in document order.
 func (n *Node) ChildrenOf() []xdm.Node {
 	var out []xdm.Node
-	for c := n.D.firstChild[n.ID]; c >= 0; c = n.D.nextSib[c] {
+	for c := n.D.FirstChildID(n.ID); c >= 0; c = n.D.NextSiblingID(c) {
 		out = append(out, &Node{D: n.D, ID: c})
 	}
 	return out

@@ -6,10 +6,10 @@ package xmlparse
 
 import (
 	"encoding/xml"
-	"fmt"
 	"io"
 	"strings"
 
+	"xqgo/internal/projection"
 	"xqgo/internal/store"
 	"xqgo/internal/xdm"
 )
@@ -25,110 +25,22 @@ type Options struct {
 	// StripWhitespace drops text nodes that consist only of XML whitespace
 	// and have element siblings ("ignorable whitespace"); off by default.
 	StripWhitespace bool
+	// Projection, when projectable, lets the parser skip subtrees no query
+	// path can touch (see internal/projection). Skipped subtrees are
+	// tokenized but never materialized.
+	Projection *projection.Paths
+	// Stats, when non-nil, receives ingestion counter deltas.
+	Stats Stats
 }
 
-// Parse reads one XML document from r.
+// Parse reads one XML document from r, eagerly: the incremental machinery
+// driven to completion in one shot.
 func Parse(r io.Reader, opts Options) (*store.Document, error) {
-	b := store.NewBuilder(store.BuilderOptions{
-		PoolText: opts.PoolText,
-		Names:    opts.Names,
-		URI:      opts.URI,
-	})
-	b.StartDocument()
-
-	dec := xml.NewDecoder(r)
-	dec.Strict = true
-	depth := 0
-	seenRoot := false
-	var pendingWS []string // whitespace-only runs, flushed if followed by non-ws
-
-	flushWS := func() {
-		for _, s := range pendingWS {
-			b.Text(s)
-		}
-		pendingWS = pendingWS[:0]
+	doc := ParseIncremental(r, opts).Document()
+	if err := doc.Complete(); err != nil {
+		return nil, err
 	}
-
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmlparse: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if depth == 0 && seenRoot {
-				return nil, fmt.Errorf("xmlparse: multiple root elements")
-			}
-			seenRoot = true
-			if !opts.StripWhitespace {
-				flushWS()
-			} else {
-				pendingWS = pendingWS[:0]
-			}
-			b.StartElement(convName(t.Name))
-			for _, a := range t.Attr {
-				if a.Name.Space == "xmlns" {
-					b.NSDecl(a.Name.Local, a.Value)
-					continue
-				}
-				if a.Name.Space == "" && a.Name.Local == "xmlns" {
-					b.NSDecl("", a.Value)
-					continue
-				}
-				if err := b.Attr(convName(a.Name), a.Value); err != nil {
-					return nil, fmt.Errorf("xmlparse: %w", err)
-				}
-			}
-			depth++
-		case xml.EndElement:
-			if opts.StripWhitespace {
-				pendingWS = pendingWS[:0]
-			} else {
-				flushWS()
-			}
-			b.EndElement()
-			depth--
-		case xml.CharData:
-			if depth == 0 {
-				if strings.TrimSpace(string(t)) != "" {
-					return nil, fmt.Errorf("xmlparse: character data outside the root element")
-				}
-				continue
-			}
-			s := string(t)
-			if opts.StripWhitespace && strings.TrimSpace(s) == "" {
-				pendingWS = append(pendingWS, s)
-				continue
-			}
-			flushWS()
-			b.Text(s)
-		case xml.Comment:
-			if depth > 0 {
-				flushWS()
-				b.Comment(string(t))
-			}
-		case xml.ProcInst:
-			if t.Target == "xml" {
-				continue // XML declaration
-			}
-			if depth > 0 {
-				flushWS()
-				b.PI(t.Target, string(t.Inst))
-			}
-		case xml.Directive:
-			// DOCTYPE etc.: accepted and dropped.
-		}
-	}
-	if depth != 0 {
-		return nil, fmt.Errorf("xmlparse: unexpected EOF inside element")
-	}
-	if !seenRoot {
-		return nil, fmt.Errorf("xmlparse: no root element")
-	}
-	return b.Done()
+	return doc, nil
 }
 
 // ParseString parses a document held in a string.

@@ -12,8 +12,11 @@
 package xqgo
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
+	"math"
 	"time"
 
 	"xqgo/internal/expr"
@@ -77,6 +80,12 @@ type Options struct {
 	// This is the item-at-a-time baseline used by the batched-vs-item
 	// benchmark rows and differential tests; leave it off for production.
 	DisableBatching bool
+	// DisableProjection turns off static path projection for streaming
+	// inputs (Context.WithStreamingInput): the whole input document is
+	// materialized instead of only the subtrees the query's path set can
+	// reach. Projection never affects results — this switch exists for
+	// differential testing and measurement.
+	DisableProjection bool
 }
 
 // Optimizer rule names for Options.DisableRules (experiment E10 ablations).
@@ -128,13 +137,19 @@ func Compile(src string, opts *Options) (*Query, error) {
 		oo.Trace = trace
 		q = optimizer.Optimize(q, oo)
 	}
-	prepared, err := runtime.Compile(q, runtime.Options{
+	ro := runtime.Options{
 		Eager:              opts.Engine == Eager,
 		UseStructuralJoins: opts.UseStructuralJoins,
 		MemoizeFunctions:   opts.MemoizeFunctions,
 		Parallel:           opts.Parallel,
 		NoBatch:            opts.DisableBatching,
-	})
+	}
+	if !opts.DisableProjection {
+		// Static path projection: the set of root-reachable paths the query
+		// can touch, used to skip unreachable subtrees while stream-parsing.
+		ro.Projection = optimizer.ExtractPaths(q)
+	}
+	prepared, err := runtime.Compile(q, ro)
 	if err != nil {
 		return nil, err
 	}
@@ -253,8 +268,9 @@ func MustParseString(src, uri string) *Document {
 // Context is the dynamic evaluation context: external variables, available
 // documents, the initial context item.
 type Context struct {
-	dyn *runtime.Dynamic
-	reg *runtime.DocRegistry
+	dyn  *runtime.Dynamic
+	reg  *runtime.DocRegistry
+	hook func() error // user hook from WithInterrupt, kept for ctx composition
 }
 
 // NewContext creates an empty context with an in-memory document registry
@@ -307,15 +323,54 @@ func (c *Context) WithNow(t time.Time) *Context {
 	return c
 }
 
-// WithInterrupt installs a cancellation hook polled periodically during
-// evaluation (a step budget over the engine's iterator loops). When the
-// hook returns a non-nil error, the execution aborts with it. The service
-// layer uses this to enforce per-request deadlines:
+// WithInterrupt installs a low-level cancellation hook polled periodically
+// during evaluation (a step budget over the engine's iterator loops). When
+// the hook returns a non-nil error, the execution aborts with it.
 //
-//	ctx.WithInterrupt(func() error { return reqCtx.Err() })
+// Most callers should use the context-first entry points instead —
+// EvalContext, ExecuteContext, IteratorContext — which wire a
+// context.Context's cancellation into the same mechanism. WithInterrupt
+// remains for cancellation sources that are not contexts (quotas, external
+// kill switches); a hook installed here keeps running alongside a
+// context-first execution's deadline.
 func (c *Context) WithInterrupt(f func() error) *Context {
+	c.hook = f
 	c.dyn.Interrupt = f
 	return c
+}
+
+// WithStreamingInput attaches a streaming XML input: the document is parsed
+// incrementally while the query runs, pulled forward only as far as
+// evaluation demands, with subtrees unreachable by the query's static path
+// set skipped entirely (see Options.DisableProjection). The document
+// becomes the initial context item when none is set, and resolves via
+// fn:doc(uri) under the given URI.
+//
+// The reader is consumed by at most one execution; attach a fresh Context
+// (and reader) per run. Parse errors in regions the query never visits may
+// go unreported — the stream is only read, and only validated, on demand.
+func (c *Context) WithStreamingInput(r io.Reader, uri string) *Context {
+	c.dyn.Stream = runtime.NewStreamState(r, xmlparse.Options{URI: uri})
+	return c
+}
+
+// bindContext routes ctx cancellation into the engine's interrupt hook,
+// composing with any WithInterrupt hook. No-op for contexts that can never
+// be canceled (context.Background() and friends).
+func (c *Context) bindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	hook := c.hook
+	c.dyn.Interrupt = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if hook != nil {
+			return hook()
+		}
+		return nil
+	}
 }
 
 // WithProfile attaches a profile to this context: subsequent executions
@@ -337,15 +392,26 @@ func (c *Context) SeedIndex(d *Document, idx *structjoin.Index) *Context {
 }
 
 // Bind binds an external variable (declared "external" in the prolog). The
-// value is converted from a Go value: string, bool, int/int64, float64,
-// time.Time, Node, Item, Sequence, or a slice of those.
+// value is converted from a Go value: string, bool, numeric types,
+// time.Time, Node, Item, Sequence, or a slice of those (see ToSequence).
+// Bind panics on unconvertible values, preserving the fluent chaining
+// style; BindValue is the error-returning form.
 func (c *Context) Bind(name string, value any) *Context {
-	seq, err := ToSequence(value)
-	if err != nil {
+	if err := c.BindValue(name, value); err != nil {
 		panic(fmt.Sprintf("xqgo: Bind(%s): %v", name, err))
 	}
-	c.dyn.Vars[xdm.ParseClark(name).Clark()] = seq
 	return c
+}
+
+// BindValue binds an external variable, returning an error instead of
+// panicking when the Go value cannot be converted to an XDM sequence.
+func (c *Context) BindValue(name string, value any) error {
+	seq, err := ToSequence(value)
+	if err != nil {
+		return err
+	}
+	c.dyn.Vars[xdm.ParseClark(name).Clark()] = seq
+	return nil
 }
 
 // ToSequence converts a Go value to an XDM sequence.
@@ -365,8 +431,22 @@ func ToSequence(value any) (Sequence, error) {
 		return Sequence{xdm.NewBoolean(v)}, nil
 	case int:
 		return Sequence{xdm.NewInteger(int64(v))}, nil
+	case int32:
+		return Sequence{xdm.NewInteger(int64(v))}, nil
 	case int64:
 		return Sequence{xdm.NewInteger(v)}, nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return nil, fmt.Errorf("uint value %d overflows xs:integer", v)
+		}
+		return Sequence{xdm.NewInteger(int64(v))}, nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return nil, fmt.Errorf("uint64 value %d overflows xs:integer", v)
+		}
+		return Sequence{xdm.NewInteger(int64(v))}, nil
+	case float32:
+		return Sequence{xdm.NewDouble(float64(v))}, nil
 	case float64:
 		return Sequence{xdm.NewDouble(v)}, nil
 	case time.Time:
@@ -401,6 +481,16 @@ func ToSequence(value any) (Sequence, error) {
 			out[i] = xdm.NewBoolean(x)
 		}
 		return out, nil
+	case []Node:
+		out := make(Sequence, len(v))
+		for i, n := range v {
+			out[i] = n
+		}
+		return out, nil
+	case []Item:
+		// Sequence is a defined type over []Item; a plain []Item (e.g. built
+		// by generic code) lands here.
+		return Sequence(v), nil
 	case []any:
 		var out Sequence
 		for _, x := range v {
@@ -423,6 +513,21 @@ func (q *Query) Eval(ctx *Context) (Sequence, error) {
 	return q.prepared.Eval(ctx.dyn)
 }
 
+// EvalContext is Eval under a context.Context: cancellation and deadline
+// expiry of ctx abort the evaluation with ctx's error. The engine polls
+// cancellation on its iterator loops, so even aggregates that never yield
+// an item to the caller observe it promptly.
+func (q *Query) EvalContext(ctx context.Context, c *Context) (Sequence, error) {
+	if c == nil {
+		c = NewContext()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.bindContext(ctx)
+	return q.prepared.Eval(c.dyn)
+}
+
 // EvalString executes and serializes the result to XML text.
 func (q *Query) EvalString(ctx *Context) (string, error) {
 	seq, err := q.Eval(ctx)
@@ -435,7 +540,9 @@ func (q *Query) EvalString(ctx *Context) (string, error) {
 // Execute streams the serialized result to w — the paper's minimal
 // time-to-first-answer path: output is produced before the input is fully
 // consumed, and node-id-free constructed trees are token-piped without
-// materialization.
+// materialization. With a streaming input attached (WithStreamingInput),
+// input parsing and output production interleave: first bytes of output
+// appear before the input reader reaches EOF.
 func (q *Query) Execute(ctx *Context, w io.Writer) error {
 	if ctx == nil {
 		ctx = NewContext()
@@ -443,16 +550,89 @@ func (q *Query) Execute(ctx *Context, w io.Writer) error {
 	return q.prepared.ExecuteToWriter(ctx.dyn, w)
 }
 
+// ExecuteContext is Execute under a context.Context (see EvalContext).
+func (q *Query) ExecuteContext(ctx context.Context, c *Context, w io.Writer) error {
+	if c == nil {
+		c = NewContext()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.bindContext(ctx)
+	return q.prepared.ExecuteToWriter(c.dyn, w)
+}
+
 // Iterator returns a lazy result iterator; Next returns (item, ok, error).
+// Call Close when done (also after an error or exhaustion — it is cheap and
+// idempotent) to release pooled execution buffers early.
 func (q *Query) Iterator(ctx *Context) (ResultIter, error) {
 	if ctx == nil {
 		ctx = NewContext()
 	}
-	return q.prepared.Iterator(ctx.dyn)
+	it, err := q.prepared.RunIterator(ctx.dyn)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
 }
 
-// ResultIter is the pull interface over a query result.
-type ResultIter = runtime.Iter
+// IteratorContext is Iterator under a context.Context (see EvalContext):
+// ctx cancellation makes subsequent Next calls fail with ctx's error.
+func (q *Query) IteratorContext(ctx context.Context, c *Context) (ResultIter, error) {
+	if c == nil {
+		c = NewContext()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.bindContext(ctx)
+	it, err := q.prepared.RunIterator(c.dyn)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Items returns the result as a Go range-over-func sequence:
+//
+//	for item, err := range q.Items(c) {
+//		if err != nil { ... }
+//	}
+//
+// Iteration is lazy (items are produced on demand, like Iterator) and the
+// underlying iterator is closed when the loop ends, including via break.
+// After a non-nil error the sequence ends.
+func (q *Query) Items(c *Context) iter.Seq2[Item, error] {
+	return func(yield func(Item, error) bool) {
+		it, err := q.Iterator(c)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer it.Close()
+		for {
+			item, ok, err := it.Next()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if !yield(item, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ResultIter is the pull interface over a query result. Next returns the
+// next item with ok=false at exhaustion; Close releases pooled execution
+// resources and is safe to call multiple times.
+type ResultIter interface {
+	Next() (Item, bool, error)
+	Close()
+}
 
 // ItemString renders a single item as text (fn:string semantics for
 // atomics, XML serialization for nodes).
