@@ -32,6 +32,23 @@ type benchReport struct {
 	// the same serialized document, parsed eagerly up front, lazily without
 	// projection, and lazily with static path projection.
 	Ingest []ingestRow `json:"ingest"`
+	// StreamEval holds the event-driven streaming-evaluator comparison: the
+	// paper query over a ~10 MiB Orders feed on the store engine (eager
+	// parse, full runtime) versus stream mode (results emitted per window,
+	// nothing materialized).
+	StreamEval []streamEvalRow `json:"streamEval"`
+}
+
+// streamEvalRow is one streaming-evaluator measurement.
+type streamEvalRow struct {
+	Name       string `json:"name"`
+	Class      string `json:"class"` // streamability class of the plan
+	NsPerOp    int64  `json:"nsPerOp"`
+	TTFBNs     int64  `json:"ttfbNs"`          // time to first output byte
+	PeakBuffer int64  `json:"peakBufferBytes"` // window-buffer high-water mark
+	Windows    int64  `json:"windows"`
+	Results    int64  `json:"results"`
+	Fallbacks  int64  `json:"fallbacks"`
 }
 
 // ingestRow is one streaming-ingestion measurement. Node/byte counters come
@@ -239,6 +256,95 @@ func (r *runner) runJSON(path string) error {
 			m.name, d.Nanoseconds(), ttfb, counters.DocNodesBuilt, counters.NodesSkipped, counters.BytesParsedOnDemand)
 	}
 
+	// Streaming-evaluator comparison: the paper query over a >= 10 MiB
+	// serialized Orders feed. The eager baseline parses the whole feed into
+	// the store and then evaluates; stream mode evaluates off the live token
+	// stream, so its first result should land while the baseline is still
+	// parsing. The gate below holds stream-mode TTFB to <= 20% of the eager
+	// total runtime, with window buffering bounded.
+	lines := 20000
+	var ordersXML []byte
+	for {
+		var buf bytes.Buffer
+		if err := workload.WriteXML(&buf, workload.Orders(workload.OrdersConfig{Lines: lines, Sellers: 50, Seed: 3})); err != nil {
+			return err
+		}
+		if buf.Len() >= 10<<20 || lines >= 640000 {
+			ordersXML = buf.Bytes()
+			break
+		}
+		lines *= 2
+	}
+	fmt.Fprintf(os.Stderr, "xqbench: stream-eval feed: %d order lines, %.1f MiB\n",
+		lines, float64(len(ordersXML))/(1<<20))
+
+	countQ := mustCompile(`count(/Order/OrderLine)`, nil)
+	seRun := func(q *xqgo.Query) func(record bool) (int64, xqgo.EngineCounters) {
+		return func(record bool) (int64, xqgo.EngineCounters) {
+			ctx := xqgo.NewContext().
+				WithStreamingInput(bytes.NewReader(ordersXML), "bench:orders").
+				WithStreamMode(true)
+			var prof *xqgo.Profile
+			if record {
+				prof = q.NewCountersProfile()
+				ctx.WithProfile(prof)
+			}
+			fw := newFirstByteWriter()
+			if err := q.Execute(ctx, fw); err != nil {
+				panic(err)
+			}
+			var c xqgo.EngineCounters
+			if record {
+				c = prof.Report().Counters
+			}
+			return fw.firstByte.Nanoseconds(), c
+		}
+	}
+	seModes := []struct {
+		name string
+		q    *xqgo.Query
+		run  func(record bool) (int64, xqgo.EngineCounters)
+	}{
+		{"stream-eval/eager-baseline", eager, func(bool) (int64, xqgo.EngineCounters) {
+			d, err := xqgo.Parse(bytes.NewReader(ordersXML), "bench:orders")
+			if err != nil {
+				panic(err)
+			}
+			fw := newFirstByteWriter()
+			if err := eager.Execute(ctxFor(d), fw); err != nil {
+				panic(err)
+			}
+			return fw.firstByte.Nanoseconds(), xqgo.EngineCounters{}
+		}},
+		{"stream-eval/paper-query", stream, seRun(stream)},
+		{"stream-eval/identity-path", pathQ, seRun(pathQ)},
+		{"stream-eval/count-fallback", countQ, seRun(countQ)},
+	}
+	seNs := map[string]int64{}
+	seTTFB := map[string]int64{}
+	sePeak := map[string]int64{}
+	for _, m := range seModes {
+		var ttfb int64
+		d := r.timeIt(func() { ttfb, _ = m.run(false) })
+		_, counters := m.run(true)
+		class, _ := m.q.Streamability()
+		seNs[m.name] = d.Nanoseconds()
+		seTTFB[m.name] = ttfb
+		sePeak[m.name] = counters.StreamBufferPeakBytes
+		rep.StreamEval = append(rep.StreamEval, streamEvalRow{
+			Name:       m.name,
+			Class:      class.String(),
+			NsPerOp:    d.Nanoseconds(),
+			TTFBNs:     ttfb,
+			PeakBuffer: counters.StreamBufferPeakBytes,
+			Windows:    counters.StreamWindows,
+			Results:    counters.StreamResults,
+			Fallbacks:  counters.StreamFallbacks,
+		})
+		fmt.Fprintf(os.Stderr, "xqbench: %-28s %12d ns/op  ttfb %10d ns  peak-buf %8d B  windows %8d  class %s\n",
+			m.name, d.Nanoseconds(), ttfb, counters.StreamBufferPeakBytes, counters.StreamWindows, class)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -268,6 +374,19 @@ func (r *runner) runJSON(path string) error {
 	}
 	if sn, en := ingestNs["ingest/stream-full"], ingestNs["ingest/eager-full"]; float64(sn) > 2.0*float64(en) {
 		return fmt.Errorf("full-parse throughput regression: lazy full ingestion %d ns/op > 2x eager %d ns/op", sn, en)
+	}
+	// Streaming-evaluator gates: the paper query must stay streamable, its
+	// first result must land within 20% of the eager total runtime (the
+	// whole point of evaluating off the live token stream), and window
+	// buffering must stay a small fraction of the feed.
+	if cl, reason := stream.Streamability(); !cl.Streamable() {
+		return fmt.Errorf("paper query no longer streamable: %s", reason)
+	}
+	if ttfb, et := seTTFB["stream-eval/paper-query"], seNs["stream-eval/eager-baseline"]; float64(ttfb) > 0.20*float64(et) {
+		return fmt.Errorf("streaming TTFB regression: first byte after %d ns > 20%% of eager total %d ns", ttfb, et)
+	}
+	if peak := sePeak["stream-eval/paper-query"]; peak <= 0 || peak > int64(len(ordersXML)/100) {
+		return fmt.Errorf("stream-eval peak buffer %d B out of bounds for a %d B feed", peak, len(ordersXML))
 	}
 	return nil
 }

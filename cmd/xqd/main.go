@@ -24,13 +24,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"xqgo"
@@ -52,6 +55,9 @@ func main() {
 		slowAfter = flag.Duration("slow-threshold", 250*time.Millisecond, "log queries slower than this to GET /slow (0 = default, negative = disabled)")
 		slowSize  = flag.Int("slow-log", 64, "slow-query log ring capacity")
 		noProf    = flag.Bool("no-profiling", false, "disable background engine-counter profiling (explain=1 still profiles)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
+		maxSubs   = flag.Int("max-subscriptions", 0, "continuous queries per /subscribe request (0 = default 16)")
+		maxFeeds  = flag.Int("max-subscribers", 0, "concurrent subscriber feeds before 503 (0 = default 64)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); never exposed on the public listener")
 	)
 	var docs multiFlag
@@ -72,6 +78,8 @@ func main() {
 		SlowQueryThreshold: *slowAfter,
 		SlowLogSize:        *slowSize,
 		DisableProfiling:   *noProf,
+		MaxSubscriptions:   *maxSubs,
+		MaxSubscribers:     *maxFeeds,
 		Options: xqgo.Options{
 			UseStructuralJoins: *joins,
 			MemoizeFunctions:   *memo,
@@ -129,8 +137,30 @@ func main() {
 	// scripts) can discover the port.
 	fmt.Printf("xqd listening on %s\n", ln.Addr())
 	srv := &http.Server{Handler: service.NewHTTPHandler(svc)}
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Fprintf(os.Stderr, "xqd: shutting down (drain %v)\n", *drain)
+		// End live subscriber feeds first — each gets a terminal "goodbye"
+		// SSE event — so http.Server.Shutdown (which waits for in-flight
+		// requests but never cancels them) can actually drain.
+		svc.Shutdown()
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "xqd: drain deadline exceeded, closing:", err)
+			srv.Close()
+		}
+		fmt.Println("xqd shut down")
 	}
 }
 

@@ -36,6 +36,11 @@ func (s Step) match(space, local string) bool {
 	}
 }
 
+// Match is the exported form of the name test, used by the streamexec spine
+// automaton (which matches the same step vocabulary against a live element
+// stream).
+func (s Step) Match(space, local string) bool { return s.match(space, local) }
+
 func (s Step) String() string {
 	var b strings.Builder
 	if s.AnyDepth {

@@ -1,0 +1,24 @@
+package runtime
+
+import (
+	"xqgo/internal/tokens"
+	"xqgo/internal/xdm"
+)
+
+// EmitItemTokens renders one result item as output tokens — the same
+// conversion ExecuteToWriter applies per item, exported for the streaming
+// evaluator (internal/streamexec), which produces result items outside the
+// iterator engine but must serialize byte-identically to it. Streamed
+// constructor trees are token-piped without materialization, stored nodes
+// are scanned, and atomic values become KindAtomic tokens (the StreamWriter
+// applies the adjacent-atomic space-joining rule itself).
+func EmitItemTokens(item xdm.Item, emit func(tokens.Token) error) error {
+	switch n := item.(type) {
+	case *StreamedNode:
+		return n.EmitTokens(emit)
+	case xdm.Node:
+		return emitStoredNode(n, emit)
+	default:
+		return emit(tokens.Token{Kind: tokens.KindAtomic, Atom: item.(xdm.Atomic)})
+	}
+}

@@ -55,6 +55,15 @@ type engineCounters struct {
 	docNodesBuilt atomic.Int64
 	nodesSkipped  atomic.Int64
 	bytesParsed   atomic.Int64
+
+	// Streaming-evaluator counters (internal/streamexec): windows opened by
+	// the spine automaton, results emitted from windows, the buffer-byte
+	// high-water mark across executions (a max, not a sum), and executions
+	// that requested stream mode but fell back to the store engine.
+	streamWindows    atomic.Int64
+	streamResults    atomic.Int64
+	streamBufferPeak atomic.Int64
+	streamFallbacks  atomic.Int64
 }
 
 // Profile collects execution statistics for one execution of a Prepared
@@ -198,6 +207,49 @@ func (p *Profile) addBytesParsed(n int64) {
 	}
 }
 
+// The stream-evaluator adders are exported: internal/streamexec maintains
+// them from outside the package. All remain nil-safe.
+
+// AddStreamWindows counts windows opened by the streaming evaluator.
+func (p *Profile) AddStreamWindows(n int64) {
+	if p != nil {
+		p.c.streamWindows.Add(n)
+	}
+}
+
+// AddStreamResults counts results emitted by the streaming evaluator.
+func (p *Profile) AddStreamResults(n int64) {
+	if p != nil {
+		p.c.streamResults.Add(n)
+	}
+}
+
+// NoteStreamBufferPeak raises the buffer-byte high-water mark (a max-merge:
+// concurrent executions sharing a profile keep the largest peak).
+func (p *Profile) NoteStreamBufferPeak(n int64) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.c.streamBufferPeak.Load()
+		if n <= cur || p.c.streamBufferPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// AddStreamFallback counts a stream-mode execution that fell back to the
+// store engine (store-required plan or unusable input).
+func (p *Profile) AddStreamFallback() {
+	if p != nil {
+		p.c.streamFallbacks.Add(1)
+	}
+}
+
+// AddXMLTokens counts serialized/parsed tokens from outside the package
+// (streamexec batches its output-token accounting through this).
+func (p *Profile) AddXMLTokens(n int64) { p.addXMLTokens(n) }
+
 // OpReport is the per-operator row of a profile report.
 type OpReport struct {
 	ID     int    `json:"id"`
@@ -226,6 +278,12 @@ type CounterReport struct {
 	DocNodesBuilt       int64 `json:"docNodesBuilt"`
 	NodesSkipped        int64 `json:"nodesSkipped"`
 	BytesParsedOnDemand int64 `json:"bytesParsedOnDemand"`
+	// Streaming evaluator (internal/streamexec). StreamBufferPeakBytes is a
+	// high-water mark, not a running total.
+	StreamWindows         int64 `json:"streamWindows"`
+	StreamResults         int64 `json:"streamResults"`
+	StreamBufferPeakBytes int64 `json:"streamBufferPeakBytes"`
+	StreamFallbacks       int64 `json:"streamFallbacks"`
 }
 
 // Report is a point-in-time snapshot of a Profile.
@@ -253,17 +311,21 @@ func (p *Profile) Report() Report {
 		})
 	}
 	rep.Counters = CounterReport{
-		XMLTokens:           p.c.xmlTokens.Load(),
-		NodesMaterialized:   p.c.nodesMaterialized.Load(),
-		MemoHits:            p.c.memoHits.Load(),
-		MemoMisses:          p.c.memoMisses.Load(),
-		IndexHits:           p.c.indexHits.Load(),
-		IndexBuilds:         p.c.indexBuilds.Load(),
-		StructJoins:         p.c.structJoins.Load(),
-		InterruptPolls:      p.c.interruptPolls.Load(),
-		DocNodesBuilt:       p.c.docNodesBuilt.Load(),
-		NodesSkipped:        p.c.nodesSkipped.Load(),
-		BytesParsedOnDemand: p.c.bytesParsed.Load(),
+		XMLTokens:             p.c.xmlTokens.Load(),
+		NodesMaterialized:     p.c.nodesMaterialized.Load(),
+		MemoHits:              p.c.memoHits.Load(),
+		MemoMisses:            p.c.memoMisses.Load(),
+		IndexHits:             p.c.indexHits.Load(),
+		IndexBuilds:           p.c.indexBuilds.Load(),
+		StructJoins:           p.c.structJoins.Load(),
+		InterruptPolls:        p.c.interruptPolls.Load(),
+		DocNodesBuilt:         p.c.docNodesBuilt.Load(),
+		NodesSkipped:          p.c.nodesSkipped.Load(),
+		BytesParsedOnDemand:   p.c.bytesParsed.Load(),
+		StreamWindows:         p.c.streamWindows.Load(),
+		StreamResults:         p.c.streamResults.Load(),
+		StreamBufferPeakBytes: p.c.streamBufferPeak.Load(),
+		StreamFallbacks:       p.c.streamFallbacks.Load(),
 	}
 	return rep
 }

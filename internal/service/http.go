@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -26,6 +27,11 @@ import (
 //	                             ?query=, the body is parsed incrementally
 //	                             (projected to the query's path set) while
 //	                             the XML result streams back
+//	POST     /subscribe          register continuous queries (repeatable
+//	                             ?query= params) against the request body
+//	                             as a live XML feed; results stream back as
+//	                             Server-Sent Events from a single shared
+//	                             parse pass
 //	GET      /stats              counters, latency percentiles, cache ratios
 //	GET      /metrics            Prometheus text exposition
 //	GET      /slow               slow-query log (newest first, with profiles)
@@ -74,6 +80,9 @@ func NewHTTPHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		s.handleQuery(w, r)
+	})
+	mux.HandleFunc("POST /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubscribe(w, r)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -127,8 +136,25 @@ type slowLogResponse struct {
 	Entries         []SlowEntry `json:"entries"`
 }
 
+// isXMLContentType reports whether a Content-Type header value names an XML
+// media type: application/xml, text/xml, or any +xml suffix type
+// (application/soap+xml, image/svg+xml, ...). Matching follows RFC 7231 —
+// case-insensitive, parameters ignored — via mime.ParseMediaType, instead of
+// a naive prefix test that missed "Application/XML" and matched
+// "application/xmlfoo".
+func isXMLContentType(ct string) bool {
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/xml" || mt == "text/xml" || strings.HasSuffix(mt, "+xml")
+}
+
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/xml") || strings.HasPrefix(ct, "text/xml") {
+	if isXMLContentType(r.Header.Get("Content-Type")) {
 		s.handleStreamQuery(w, r)
 		return
 	}
@@ -172,11 +198,13 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStreamQuery is the streaming-ingestion form of POST /query: the
-// request body is the XML input document (parsed on demand, projected to
-// the query's static path set) and the serialized result streams back as
-// it is produced — output can begin before the body is fully read. The
-// query text comes from the ?query= parameter; ?timeoutMs= and
-// ?maxResultBytes= override the configured limits.
+// request body is the XML input document and the serialized result streams
+// back as it is produced — output can begin before the body is fully read.
+// Streamable queries run on the event-driven evaluator (the body is never
+// materialized); other plans fall back to lazy, projected ingestion.
+// ?mode=store forces the fallback path. The query text comes from the
+// ?query= parameter; ?timeoutMs= and ?maxResultBytes= override the
+// configured limits.
 func (s *Service) handleStreamQuery(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query()
 	query := qs.Get("query")
@@ -189,9 +217,14 @@ func (s *Service) handleStreamQuery(w http.ResponseWriter, r *http.Request) {
 	req := Request{
 		Query:          query,
 		Body:           r.Body,
+		StreamMode:     qs.Get("mode") != "store",
 		Timeout:        time.Duration(timeoutMs) * time.Millisecond,
 		MaxResultBytes: maxBytes,
 	}
+	// Full duplex lets the result stream out while the body is still being
+	// read — otherwise HTTP/1.x drains (and closes) the body at the first
+	// response write, which defeats incremental evaluation entirely.
+	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	if _, err := s.Execute(r.Context(), req, w); err != nil {
 		writeError(w, err) // no-op on the status line if already streaming
@@ -272,7 +305,7 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownDocument):
 		return http.StatusNotFound
-	case errors.Is(err, ErrSaturated):
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

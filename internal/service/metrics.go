@@ -99,6 +99,25 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	engineCounter("doc_nodes_built_total", "Nodes appended to lazily parsed streaming documents.", engine.DocNodesBuilt)
 	engineCounter("nodes_skipped_total", "Nodes skipped by static path projection (tokenized, never built).", engine.NodesSkipped)
 	engineCounter("bytes_parsed_on_demand_total", "Streaming-input bytes pulled by on-demand parsing.", engine.BytesParsedOnDemand)
+	engineCounter("stream_windows_total", "Windows opened by the event-driven streaming evaluator.", engine.StreamWindows)
+	engineCounter("stream_results_total", "Results emitted by the event-driven streaming evaluator.", engine.StreamResults)
+	engineCounter("stream_fallbacks_total", "Stream-mode executions that fell back to the store engine.", engine.StreamFallbacks)
+	gauge("xqd_engine_stream_buffer_peak_bytes", "Largest window buffer any streaming execution held.")
+	fmt.Fprintf(w, "xqd_engine_stream_buffer_peak_bytes %d\n", engine.StreamBufferPeakBytes)
+
+	sc := s.subs
+	gauge("xqd_subscriber_feeds_active", "Subscriber feeds (POST /subscribe) currently streaming.")
+	fmt.Fprintf(w, "xqd_subscriber_feeds_active %d\n", sc.active.Load())
+	counter("xqd_subscriber_feeds_total", "Subscriber feeds admitted.")
+	fmt.Fprintf(w, "xqd_subscriber_feeds_total %d\n", sc.feeds.Load())
+	counter("xqd_subscriptions_total", "Continuous queries registered across all feeds.")
+	fmt.Fprintf(w, "xqd_subscriptions_total %d\n", sc.registered.Load())
+	counter("xqd_subscription_results_total", "Result events delivered to subscribers.")
+	fmt.Fprintf(w, "xqd_subscription_results_total %d\n", sc.results.Load())
+	counter("xqd_subscription_fallbacks_total", "Store-required subscriptions (evaluated at feed end).")
+	fmt.Fprintf(w, "xqd_subscription_fallbacks_total %d\n", sc.fallbacks.Load())
+	gauge("xqd_subscription_buffer_peak_bytes", "Largest window buffer any subscription held.")
+	fmt.Fprintf(w, "xqd_subscription_buffer_peak_bytes %d\n", sc.peakBuffer.Load())
 
 	gauge("xqd_uptime_seconds", "Seconds since service start.")
 	fmt.Fprintf(w, "xqd_uptime_seconds %s\n",

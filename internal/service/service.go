@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"xqgo"
@@ -43,6 +44,14 @@ type Config struct {
 	// set, /metrics engine counters stay zero and slow-log entries carry no
 	// profile.
 	DisableProfiling bool
+	// MaxSubscriptions bounds the number of continuous queries one
+	// POST /subscribe request may register (default 16).
+	MaxSubscriptions int
+	// MaxSubscribers bounds concurrent subscriber feeds; beyond it new
+	// /subscribe requests are rejected with 503 (default 64). Subscriber
+	// feeds do not occupy executor worker slots — they are long-lived and
+	// would starve the query pool.
+	MaxSubscribers int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +79,12 @@ func (c Config) withDefaults() Config {
 	if c.SlowLogSize <= 0 {
 		c.SlowLogSize = 64
 	}
+	if c.MaxSubscriptions <= 0 {
+		c.MaxSubscriptions = 16
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 64
+	}
 	return c
 }
 
@@ -82,20 +97,47 @@ type Service struct {
 	exec    *Executor
 	stats   *statsCore
 	slow    *slowLog
+	subs    *subCore
+
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 }
 
 // New creates a service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:     cfg,
-		Catalog: NewCatalog(),
-		plans:   NewPlanCache(cfg.PlanCacheSize),
-		exec:    NewExecutor(cfg.Workers, cfg.QueueDepth),
-		stats:   newStatsCore(),
-		slow:    newSlowLog(cfg.SlowLogSize),
+		cfg:      cfg,
+		Catalog:  NewCatalog(),
+		plans:    NewPlanCache(cfg.PlanCacheSize),
+		exec:     NewExecutor(cfg.Workers, cfg.QueueDepth),
+		stats:    newStatsCore(),
+		slow:     newSlowLog(cfg.SlowLogSize),
+		subs:     &subCore{},
+		shutdown: make(chan struct{}),
 	}
 }
+
+// Shutdown moves the service into draining mode: live subscriber feeds end
+// promptly with a terminal "goodbye" SSE event and new /subscribe requests
+// are rejected with 503. Regular queries are unaffected — http.Server's own
+// Shutdown drains those. Idempotent, safe from any goroutine.
+func (s *Service) Shutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
+}
+
+// ShuttingDown reports whether Shutdown has been called.
+func (s *Service) ShuttingDown() bool {
+	select {
+	case <-s.shutdown:
+		return true
+	default:
+		return false
+	}
+}
+
+// ErrShuttingDown rejects new subscriber feeds after Shutdown.
+var ErrShuttingDown = errors.New("service: shutting down")
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -122,6 +164,12 @@ type Request struct {
 	// context item when ContextDoc is empty. It also resolves under
 	// fn:doc("request:body"). The reader is consumed by the execution.
 	Body io.Reader
+	// StreamMode asks for the event-driven streaming evaluator when the
+	// query is streamable and Body is set (see xqgo.Context.WithStreamMode):
+	// results are emitted as each window of the input completes and the
+	// document is never materialized. Non-streamable plans silently fall
+	// back to regular (lazy, projected) ingestion; results are identical.
+	StreamMode bool
 	// Vars binds external variables; values go through xqgo.ToSequence.
 	Vars map[string]any
 	// Timeout overrides Config.DefaultTimeout when positive.
@@ -355,6 +403,9 @@ func (s *Service) buildContext(req Request) (*xqgo.Context, error) {
 	}
 	if req.Body != nil {
 		qctx.WithStreamingInput(req.Body, StreamBodyURI)
+		if req.StreamMode {
+			qctx.WithStreamMode(true)
+		}
 	}
 	return qctx, nil
 }

@@ -36,6 +36,13 @@ type engineTotals struct {
 	DocNodesBuilt       int64 `json:"docNodesBuilt"`
 	NodesSkipped        int64 `json:"nodesSkipped"`
 	BytesParsedOnDemand int64 `json:"bytesParsedOnDemand"`
+	// Event-driven streaming-evaluator totals (streamexec windows).
+	StreamWindows   int64 `json:"streamWindows"`
+	StreamResults   int64 `json:"streamResults"`
+	StreamFallbacks int64 `json:"streamFallbacks"`
+	// StreamBufferPeakBytes is max-merged across requests, not summed: it is
+	// the largest window buffer any execution ever held.
+	StreamBufferPeakBytes int64 `json:"streamBufferPeakBytes"`
 }
 
 // statsCore accumulates request outcomes. Latencies cover the whole
@@ -143,6 +150,12 @@ func (s *statsCore) addEngine(c xqgo.EngineCounters) {
 	s.engine.DocNodesBuilt += c.DocNodesBuilt
 	s.engine.NodesSkipped += c.NodesSkipped
 	s.engine.BytesParsedOnDemand += c.BytesParsedOnDemand
+	s.engine.StreamWindows += c.StreamWindows
+	s.engine.StreamResults += c.StreamResults
+	s.engine.StreamFallbacks += c.StreamFallbacks
+	if c.StreamBufferPeakBytes > s.engine.StreamBufferPeakBytes {
+		s.engine.StreamBufferPeakBytes = c.StreamBufferPeakBytes
+	}
 }
 
 // histogram snapshots the bucket counts (non-cumulative), sum and count.
@@ -203,6 +216,24 @@ type Snapshot struct {
 	WorkerSlots int            `json:"workerSlots"`
 	Engine      engineTotals   `json:"engine"`
 	SlowQueries uint64         `json:"slowQueries"`
+	// Subscriptions aggregates the pub/sub layer (POST /subscribe).
+	Subscriptions SubscriptionTotals `json:"subscriptions"`
+}
+
+// SubscriptionTotals is the pub/sub layer's lifetime accounting.
+type SubscriptionTotals struct {
+	// ActiveFeeds is the number of subscriber connections streaming now.
+	ActiveFeeds int64 `json:"activeFeeds"`
+	// Feeds counts subscriber connections admitted since start.
+	Feeds int64 `json:"feeds"`
+	// Registered counts subscriptions registered across all feeds.
+	Registered int64 `json:"registered"`
+	// Results counts result events delivered to subscribers.
+	Results int64 `json:"results"`
+	// Fallbacks counts store-required subscriptions (evaluated at feed end).
+	Fallbacks int64 `json:"fallbacks"`
+	// PeakBufferBytes is the largest window buffer any subscription held.
+	PeakBufferBytes int64 `json:"peakBufferBytes"`
 }
 
 // Stats snapshots every counter in the service.
@@ -232,5 +263,13 @@ func (s *Service) Stats() Snapshot {
 		WorkerSlots: s.exec.Workers(),
 		Engine:      engine,
 		SlowQueries: slowTotal,
+		Subscriptions: SubscriptionTotals{
+			ActiveFeeds:     s.subs.active.Load(),
+			Feeds:           s.subs.feeds.Load(),
+			Registered:      s.subs.registered.Load(),
+			Results:         s.subs.results.Load(),
+			Fallbacks:       s.subs.fallbacks.Load(),
+			PeakBufferBytes: s.subs.peakBuffer.Load(),
+		},
 	}
 }

@@ -1,0 +1,272 @@
+package service
+
+// POST /subscribe: the pub/sub face of the event-driven streaming evaluator.
+// One request registers N compiled queries as continuous queries against its
+// own body, treated as a live XML feed. A single shared parse pass fans every
+// token out to all subscriptions (xqgo.Subscriber); each result item streams
+// back to the client as a Server-Sent Events frame the moment its window of
+// the input completes. Store-required queries transparently fall back: the
+// feed is materialized once under the union of their projections and they
+// answer when the feed ends.
+//
+// Event protocol (all data payloads are single-line JSON):
+//
+//	event: subscribed   [{"id":0,"query":"...","class":"fully-streamable"}, ...]
+//	event: result       {"sub":0,"seq":1,"xml":"<title>...</title>"}
+//	event: error        {"sub":0,"error":"..."}        (sub -1 = the feed)
+//	event: end          [{"id":0,"class":...,"results":N,...}, ...]
+//	event: goodbye      {"reason":"server shutting down"}
+//
+// Subscriber feeds are long-lived, so they are admitted by their own cap
+// (Config.MaxSubscribers) and never occupy executor worker slots.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"xqgo"
+)
+
+// subCore aggregates subscription accounting across the service lifetime.
+type subCore struct {
+	active     atomic.Int64 // subscriber feeds currently streaming
+	feeds      atomic.Int64 // lifetime subscriber feeds admitted
+	registered atomic.Int64 // lifetime subscriptions registered
+	results    atomic.Int64 // result events delivered
+	fallbacks  atomic.Int64 // store-required subscriptions admitted
+	peakBuffer atomic.Int64 // high-water mark over all subscriptions' buffers
+}
+
+func (c *subCore) notePeak(v int64) {
+	for {
+		cur := c.peakBuffer.Load()
+		if v <= cur || c.peakBuffer.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// subInfo is one entry of the "subscribed" event.
+type subInfo struct {
+	ID     int    `json:"id"`
+	Query  string `json:"query"`
+	Class  string `json:"class"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// subResult is the "result" event payload. XML is JSON-escaped, so raw
+// newlines in the fragment can never break SSE line framing.
+type subResult struct {
+	Sub int    `json:"sub"`
+	Seq int64  `json:"seq"`
+	XML string `json:"xml"`
+}
+
+// subError is the "error" event payload; Sub -1 means the feed itself.
+type subError struct {
+	Sub   int    `json:"sub"`
+	Error string `json:"error"`
+}
+
+// subEnd is one entry of the "end" event: the subscription's lifetime stats.
+type subEnd struct {
+	ID int `json:"id"`
+	xqgo.SubscriptionStats
+}
+
+// sseEvent writes one Server-Sent Events frame and flushes it to the client.
+// data must be a single line (JSON marshaling guarantees that).
+func sseEvent(w io.Writer, f http.Flusher, event string, data []byte) error {
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	if f != nil {
+		f.Flush()
+	}
+	return nil
+}
+
+func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.ShuttingDown() {
+		writeError(w, ErrShuttingDown)
+		return
+	}
+	queries := r.URL.Query()["query"]
+	if len(queries) == 0 {
+		writeError(w, &BadRequestError{Err: errors.New("missing \"query\" parameter")})
+		return
+	}
+	if len(queries) > s.cfg.MaxSubscriptions {
+		writeError(w, &BadRequestError{Err: fmt.Errorf(
+			"%d subscriptions exceed the per-request limit of %d", len(queries), s.cfg.MaxSubscriptions)})
+		return
+	}
+	if s.subs.active.Add(1) > int64(s.cfg.MaxSubscribers) {
+		s.subs.active.Add(-1)
+		writeError(w, fmt.Errorf("%w (subscriber cap %d reached)", ErrSaturated, s.cfg.MaxSubscribers))
+		return
+	}
+	defer s.subs.active.Add(-1)
+
+	// Compile (or fetch from the shared plan cache) before committing to the
+	// SSE response, so malformed queries still get a clean 400.
+	plans := make([]*xqgo.Query, len(queries))
+	for i, src := range queries {
+		opts := s.cfg.Options
+		plan, _, err := s.plans.Get(src, &opts)
+		if err != nil {
+			writeError(w, &BadRequestError{Err: fmt.Errorf("query %d: %v", i, err)})
+			return
+		}
+		plans[i] = plan
+	}
+	s.subs.feeds.Add(1)
+	s.subs.registered.Add(int64(len(plans)))
+
+	// The client going away cancels r.Context(); Service.Shutdown must also
+	// end the feed even though http.Server.Shutdown leaves in-flight
+	// requests running.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	var shuttingDown atomic.Bool
+	go func() {
+		select {
+		case <-s.shutdown:
+			shuttingDown.Store(true)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	var prof *xqgo.Profile
+	if !s.cfg.DisableProfiling {
+		prof = plans[0].NewCountersProfile()
+	}
+	flusher, _ := w.(http.Flusher)
+	sub := xqgo.NewSubscriber().WithProfile(prof)
+
+	infos := make([]subInfo, len(plans))
+	handles := make([]*xqgo.Subscription, len(plans))
+	for i, plan := range plans {
+		i := i
+		var seq int64
+		handles[i] = sub.Subscribe(plan, func(xml []byte) error {
+			seq++
+			s.subs.results.Add(1)
+			data, err := json.Marshal(subResult{Sub: i, Seq: seq, XML: string(xml)})
+			if err != nil {
+				return err
+			}
+			return sseEvent(w, flusher, "result", data)
+		})
+		class, reason := plan.Streamability()
+		infos[i] = subInfo{ID: i, Query: queries[i], Class: class.String(), Reason: reason}
+		if class == xqgo.StreamStoreRequired {
+			s.subs.fallbacks.Add(1)
+		}
+	}
+
+	// Without full duplex, HTTP/1.x servers block the first response write
+	// on draining the remaining request body — a deadlock against a live
+	// feed — and close the body afterwards. Not every ResponseWriter
+	// supports it (test recorders, HTTP/2 is duplex natively); best effort.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if data, err := json.Marshal(infos); err == nil {
+		if sseEvent(w, flusher, "subscribed", data) != nil {
+			return
+		}
+	}
+
+	runErr := sub.Run(ctx, &cancelReader{ctx: ctx, r: r.Body}, StreamBodyURI)
+
+	for i, h := range handles {
+		s.subs.notePeak(h.Stats().PeakBufferBytes)
+		if err := h.Err(); err != nil {
+			data, _ := json.Marshal(subError{Sub: i, Error: err.Error()})
+			_ = sseEvent(w, flusher, "error", data)
+		}
+	}
+	if prof != nil {
+		s.stats.addEngine(prof.Report().Counters)
+	}
+
+	switch {
+	case shuttingDown.Load():
+		_ = sseEvent(w, flusher, "goodbye", []byte(`{"reason":"server shutting down"}`))
+	case ctx.Err() != nil:
+		// Client went away mid-feed; nobody is listening.
+	case runErr != nil:
+		data, _ := json.Marshal(subError{Sub: -1, Error: runErr.Error()})
+		_ = sseEvent(w, flusher, "error", data)
+	default:
+		ends := make([]subEnd, len(handles))
+		for i, h := range handles {
+			ends[i] = subEnd{ID: i, SubscriptionStats: h.Stats()}
+		}
+		data, _ := json.Marshal(ends)
+		_ = sseEvent(w, flusher, "end", data)
+	}
+}
+
+// cancelReader makes a blocking feed read abort when ctx is cancelled:
+// reads run on a helper goroutine, so Service.Shutdown ends an idle feed
+// whose client is sending nothing. After cancellation the pending read's
+// result is discarded — the server tears the connection down right after.
+type cancelReader struct {
+	ctx     context.Context
+	r       io.Reader
+	ch      chan readChunk
+	rem     []byte
+	err     error
+	started bool
+}
+
+type readChunk struct {
+	data []byte
+	err  error
+}
+
+func (c *cancelReader) Read(p []byte) (int, error) {
+	for len(c.rem) == 0 {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if !c.started {
+			c.started = true
+			c.ch = make(chan readChunk)
+			go func() {
+				for {
+					buf := make([]byte, 32<<10)
+					n, err := c.r.Read(buf)
+					select {
+					case c.ch <- readChunk{data: buf[:n], err: err}:
+						if err != nil {
+							return
+						}
+					case <-c.ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		select {
+		case chunk := <-c.ch:
+			c.rem, c.err = chunk.data, chunk.err
+		case <-c.ctx.Done():
+			c.err = c.ctx.Err()
+			return 0, c.err
+		}
+	}
+	n := copy(p, c.rem)
+	c.rem = c.rem[n:]
+	return n, nil
+}

@@ -1,0 +1,89 @@
+package streamexec
+
+import (
+	"encoding/xml"
+	"sync"
+	"sync/atomic"
+)
+
+// Dispatcher fans one decoder token stream out to any number of runners
+// (the pub/sub core: N continuous queries share a single parse pass over a
+// live feed). A runner that errors is detached — its error is recorded on
+// its handle and the feed keeps flowing to the others. Token delivery is
+// single-threaded (the parse goroutine); Close is safe from any goroutine.
+type Dispatcher struct {
+	taps []*Tap
+}
+
+// Tap is one registered consumer of the dispatched stream.
+type Tap struct {
+	fn     func(xml.Token) error
+	finish func() error
+
+	closed atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+// Close detaches the tap from the feed. Idempotent, safe concurrently with
+// dispatch.
+func (t *Tap) Close() { t.closed.Store(true) }
+
+// Err returns the error that detached the tap, if any.
+func (t *Tap) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tap) fail(err error) {
+	t.mu.Lock()
+	t.err = err
+	t.mu.Unlock()
+	t.closed.Store(true)
+}
+
+// Add registers a consumer: fn receives every token, finish (optional) runs
+// at end of input. For a Runner pass r.Token and r.Finish.
+func (d *Dispatcher) Add(fn func(xml.Token) error, finish func() error) *Tap {
+	t := &Tap{fn: fn, finish: finish}
+	d.taps = append(d.taps, t)
+	return t
+}
+
+// Token delivers one token to every live tap — install this as the parser's
+// Tap. It never returns an error: per-tap failures detach that tap only.
+func (d *Dispatcher) Token(tok xml.Token) error {
+	for _, t := range d.taps {
+		if t.closed.Load() {
+			continue
+		}
+		if err := t.fn(tok); err != nil {
+			t.fail(err)
+		}
+	}
+	return nil
+}
+
+// Finish signals end of input to every live tap.
+func (d *Dispatcher) Finish() {
+	for _, t := range d.taps {
+		if t.closed.Load() || t.finish == nil {
+			continue
+		}
+		if err := t.finish(); err != nil {
+			t.fail(err)
+		}
+	}
+}
+
+// Live reports how many taps are still attached.
+func (d *Dispatcher) Live() int {
+	n := 0
+	for _, t := range d.taps {
+		if !t.closed.Load() {
+			n++
+		}
+	}
+	return n
+}

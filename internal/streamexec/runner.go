@@ -1,0 +1,569 @@
+package streamexec
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"xqgo/internal/runtime"
+	"xqgo/internal/store"
+	"xqgo/internal/tokens"
+	"xqgo/internal/xdm"
+)
+
+// Stats are one Runner's lifetime totals.
+type Stats struct {
+	// Windows opened by the spine automaton.
+	Windows int64 `json:"windows"`
+	// Results delivered (result items; for identity plans, one per window).
+	Results int64 `json:"results"`
+	// PeakBufferBytes is the high-water mark of bytes buffered at once
+	// (estimated: window store content or queued window tokens).
+	PeakBufferBytes int64 `json:"peakBufferBytes"`
+	// OutputTokens serialized.
+	OutputTokens int64 `json:"outputTokens"`
+}
+
+// openWindow is one in-flight window of the nested (descendant-spine)
+// identity mode.
+type openWindow struct {
+	seq   int64 // start order — results are delivered in this order
+	depth int   // element depth of the window root
+	buf   []tokens.Token
+	bytes int64
+}
+
+// Runner drives one streamable Program against a live decoder token stream.
+// Feed it as the parser's Tap (Token), then call Finish at end of input. Not
+// safe for concurrent use; one stream owns it.
+type Runner struct {
+	prog *Program
+	env  Env
+
+	emit      func(tokens.Token) error
+	endResult func() error // result boundary; nil in shared-writer mode
+
+	// dyn is the reused per-window dynamic context of the residual plan
+	// (stable current-dateTime across windows, same interrupt hook and
+	// profile as the enclosing execution).
+	dyn   *runtime.Dynamic
+	names *store.NamePool // shared across window mini-stores
+
+	// Spine NFA (single path): flat state-set stack, one mark per element
+	// the automaton descended into. States are spine step indices.
+	states []int32
+	marks  []int32
+
+	depth  int // element depth (nested mode)
+	wDepth int // >0: inside a child-only window, nesting counted
+
+	bld *store.Builder // residual mode: the window under construction
+
+	// pendingWS replicates the ingestion whitespace policy (see
+	// xmlparse.Incremental): with StripWhitespace, whitespace-only character
+	// data is held back, dropped at element boundaries and flushed when
+	// non-whitespace content follows in the same run.
+	pendingWS []string
+
+	open   []openWindow // nested mode: window stack (open[0] streams direct)
+	queued []openWindow // nested mode: closed inner windows awaiting delivery
+	seq    int64
+
+	inToks   int64 // input tokens seen, for interrupt pacing
+	outPend  int64 // output tokens not yet flushed to the profile
+	curBytes int64
+
+	stats Stats
+}
+
+func newRunner(p *Program, env Env) *Runner {
+	if !p.Streamable() {
+		panic("streamexec: program is not streamable")
+	}
+	return &Runner{
+		prog:   p,
+		env:    env,
+		names:  store.NewNamePool(),
+		states: []int32{0},
+		marks:  []int32{0},
+		dyn: &runtime.Dynamic{
+			Vars:      env.Vars,
+			Now:       env.Now,
+			Interrupt: env.Interrupt,
+			Prof:      env.Prof,
+		},
+	}
+}
+
+// NewWriterRunner creates a runner serializing all results into one shared
+// token writer (the Execute path: results concatenate exactly like the store
+// engine's ExecuteToWriter, including the adjacent-atomic space rule).
+func NewWriterRunner(p *Program, env Env, sw *tokens.StreamWriter) *Runner {
+	r := newRunner(p, env)
+	r.emit = sw.WriteToken
+	return r
+}
+
+// NewResultRunner creates a runner delivering each result item as one
+// serialized XML fragment (the subscription path). deliver owns the byte
+// slice.
+func NewResultRunner(p *Program, env Env, deliver func(xml []byte) error) *Runner {
+	r := newRunner(p, env)
+	rs := &resultSink{deliver: deliver}
+	rs.sw = tokens.NewStreamWriter(&rs.buf)
+	r.emit = func(t tokens.Token) error { return rs.sw.WriteToken(t) }
+	r.endResult = rs.finish
+	return r
+}
+
+// resultSink frames results: a fresh writer per result item.
+type resultSink struct {
+	buf     bytes.Buffer
+	sw      *tokens.StreamWriter
+	deliver func([]byte) error
+}
+
+func (rs *resultSink) finish() error {
+	if err := rs.sw.Close(); err != nil {
+		return err
+	}
+	out := append([]byte(nil), rs.buf.Bytes()...)
+	rs.buf.Reset()
+	rs.sw = tokens.NewStreamWriter(&rs.buf)
+	return rs.deliver(out)
+}
+
+// Stats returns the runner's totals so far.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// interruptStride matches the store engine's polling granularity.
+const interruptStride = 256
+
+// Token consumes one decoder token — this is the method to install as the
+// parser's Tap. Payload bytes are copied before the call returns.
+func (r *Runner) Token(tok xml.Token) error {
+	r.inToks++
+	if r.env.Interrupt != nil && r.inToks%interruptStride == 0 {
+		if err := r.env.Interrupt(); err != nil {
+			return err
+		}
+	}
+	switch t := tok.(type) {
+	case xml.StartElement:
+		return r.startElement(t)
+	case xml.EndElement:
+		return r.endElement()
+	case xml.CharData:
+		return r.charData(string(t))
+	case xml.Comment:
+		return r.content(tokens.Token{Kind: tokens.KindComment, Value: string(t)})
+	case xml.ProcInst:
+		if t.Target == "xml" {
+			return nil // XML declaration
+		}
+		return r.content(tokens.Token{Kind: tokens.KindPI,
+			Name: xdm.LocalName(t.Target), Value: string(t.Inst)})
+	}
+	return nil
+}
+
+// Finish validates balance at end of input and flushes counters.
+func (r *Runner) Finish() error {
+	if r.wDepth != 0 || len(r.open) != 0 {
+		return fmt.Errorf("streamexec: input ended inside a window")
+	}
+	r.flushCounters()
+	return nil
+}
+
+func (r *Runner) flushCounters() {
+	if r.outPend > 0 {
+		r.env.Prof.AddXMLTokens(r.outPend)
+		r.outPend = 0
+	}
+}
+
+// ---- element events ----
+
+func (r *Runner) startElement(t xml.StartElement) error {
+	if r.prog.childOnly {
+		if r.wDepth > 0 {
+			r.wDepth++
+			r.dropWS()
+			return r.interiorStart(t)
+		}
+		if r.nfaStart(t.Name.Space, t.Name.Local) {
+			// Window interiors bypass the automaton entirely, so pop the
+			// speculative mark this element pushed: its end event will be
+			// consumed by the window-depth counter, not nfaEnd.
+			r.nfaEnd()
+			r.wDepth = 1
+			return r.openChildWindow(t)
+		}
+		return nil
+	}
+
+	// Nested (descendant-spine) identity mode: the automaton runs inside
+	// windows too — deeper matches open nested windows of their own.
+	r.depth++
+	if r.nfaStart(t.Name.Space, t.Name.Local) {
+		r.noteWindow()
+		r.open = append(r.open, openWindow{seq: r.seq, depth: r.depth})
+		r.seq++
+	}
+	if len(r.open) > 0 {
+		r.dropWS()
+		if err := r.fanOut(tokens.Token{Kind: tokens.KindStartElement, Name: convName(t.Name)}); err != nil {
+			return err
+		}
+		for _, a := range t.Attr {
+			if isXmlns(a.Name) {
+				continue
+			}
+			if err := r.fanOut(tokens.Token{Kind: tokens.KindAttribute,
+				Name: convName(a.Name), Value: a.Value}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Runner) endElement() error {
+	if r.prog.childOnly {
+		if r.wDepth > 0 {
+			r.dropWS()
+			r.wDepth--
+			if r.wDepth == 0 {
+				return r.closeChildWindow()
+			}
+			return r.interiorEnd()
+		}
+		r.nfaEnd()
+		return nil
+	}
+
+	if len(r.open) > 0 {
+		r.dropWS()
+		if err := r.fanOut(tokens.Token{Kind: tokens.KindEndElement}); err != nil {
+			return err
+		}
+		if r.open[len(r.open)-1].depth == r.depth {
+			if err := r.closeNestedWindow(); err != nil {
+				return err
+			}
+		}
+	}
+	r.depth--
+	r.nfaEnd()
+	return nil
+}
+
+// ---- character/comment/PI content ----
+
+func (r *Runner) charData(s string) error {
+	if !r.inWindow() {
+		return nil
+	}
+	if r.env.StripWhitespace && strings.TrimSpace(s) == "" {
+		r.pendingWS = append(r.pendingWS, s)
+		return nil
+	}
+	if err := r.flushWS(); err != nil {
+		return err
+	}
+	return r.contentText(s)
+}
+
+func (r *Runner) content(t tokens.Token) error {
+	if !r.inWindow() {
+		return nil
+	}
+	if err := r.flushWS(); err != nil {
+		return err
+	}
+	if r.prog.residual != nil {
+		switch t.Kind {
+		case tokens.KindComment:
+			r.bld.Comment(t.Value)
+		case tokens.KindPI:
+			r.bld.PI(t.Name.Local, t.Value)
+		}
+		r.addBuf(tokBytes(t))
+		return nil
+	}
+	return r.fanOut(t)
+}
+
+func (r *Runner) contentText(s string) error {
+	if r.prog.residual != nil {
+		r.bld.Text(s)
+		r.addBuf(int64(len(s)) + 16)
+		return nil
+	}
+	return r.fanOut(tokens.Token{Kind: tokens.KindText, Value: s})
+}
+
+func (r *Runner) inWindow() bool {
+	if r.prog.childOnly {
+		return r.wDepth > 0
+	}
+	return len(r.open) > 0
+}
+
+func (r *Runner) dropWS() { r.pendingWS = r.pendingWS[:0] }
+
+func (r *Runner) flushWS() error {
+	for _, s := range r.pendingWS {
+		if err := r.contentText(s); err != nil {
+			return err
+		}
+	}
+	r.pendingWS = r.pendingWS[:0]
+	return nil
+}
+
+// ---- child-only windows ----
+
+func (r *Runner) openChildWindow(t xml.StartElement) error {
+	r.noteWindow()
+	if r.prog.residual == nil {
+		// Fully streamable: tokens go straight out.
+		return r.interiorStart(t)
+	}
+	r.bld = store.NewBuilder(store.BuilderOptions{Names: r.names})
+	r.bld.StartDocument()
+	return r.interiorStart(t)
+}
+
+// interiorStart feeds a start-element (with attributes) into the current
+// window: the mini-store builder in residual mode, the output stream in
+// fully-streamable mode.
+func (r *Runner) interiorStart(t xml.StartElement) error {
+	if r.prog.residual != nil {
+		r.bld.StartElement(convName(t.Name))
+		est := int64(len(t.Name.Local)+len(t.Name.Space)) + 16
+		for _, a := range t.Attr {
+			if a.Name.Space == "xmlns" {
+				r.bld.NSDecl(a.Name.Local, a.Value)
+				continue
+			}
+			if a.Name.Space == "" && a.Name.Local == "xmlns" {
+				r.bld.NSDecl("", a.Value)
+				continue
+			}
+			if err := r.bld.Attr(convName(a.Name), a.Value); err != nil {
+				return err
+			}
+			est += int64(len(a.Name.Local)+len(a.Name.Space)+len(a.Value)) + 16
+		}
+		r.addBuf(est)
+		return nil
+	}
+	if err := r.emitTok(tokens.Token{Kind: tokens.KindStartElement, Name: convName(t.Name)}); err != nil {
+		return err
+	}
+	for _, a := range t.Attr {
+		if isXmlns(a.Name) {
+			continue
+		}
+		if err := r.emitTok(tokens.Token{Kind: tokens.KindAttribute,
+			Name: convName(a.Name), Value: a.Value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) interiorEnd() error {
+	if r.prog.residual != nil {
+		r.bld.EndElement()
+		return nil
+	}
+	return r.emitTok(tokens.Token{Kind: tokens.KindEndElement})
+}
+
+func (r *Runner) closeChildWindow() error {
+	if r.prog.residual == nil {
+		if err := r.emitTok(tokens.Token{Kind: tokens.KindEndElement}); err != nil {
+			return err
+		}
+		return r.finishResult()
+	}
+	r.bld.EndElement()
+	doc, err := r.bld.Done()
+	r.bld = nil
+	if err != nil {
+		return err
+	}
+	err = r.evalWindow(doc)
+	r.curBytes = 0
+	r.flushCounters()
+	return err
+}
+
+// evalWindow runs the residual plan over one completed window mini-store.
+func (r *Runner) evalWindow(doc *store.Document) (err error) {
+	defer func() {
+		// StreamedNode accessors surface errors by panicking; convert at
+		// the boundary like the store engine does.
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = e
+				return
+			}
+			panic(rec)
+		}
+	}()
+	r.dyn.ContextItem = doc.RootNode().ChildrenOf()[0]
+	it, err := r.prog.residual.Iterator(r.dyn)
+	if err != nil {
+		return err
+	}
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := runtime.EmitItemTokens(item, r.emitTok); err != nil {
+			return err
+		}
+		if err := r.finishResult(); err != nil {
+			return err
+		}
+	}
+}
+
+// ---- nested identity windows ----
+
+// fanOut delivers one content token to every open window: the outermost
+// streams directly, inner windows buffer their own copy (each is a separate
+// result whose subtree overlaps the outer one).
+func (r *Runner) fanOut(t tokens.Token) error {
+	if err := r.emitTok(t); err != nil {
+		return err
+	}
+	for i := 1; i < len(r.open); i++ {
+		w := &r.open[i]
+		w.buf = append(w.buf, t)
+		w.bytes += tokBytes(t)
+		r.addBuf(tokBytes(t))
+	}
+	return nil
+}
+
+func (r *Runner) closeNestedWindow() error {
+	n := len(r.open) - 1
+	w := r.open[n]
+	r.open = r.open[:n]
+	if n > 0 {
+		// An inner window completed: deliverable only after the outermost
+		// closes (its direct stream is still in progress).
+		r.queued = append(r.queued, w)
+		return nil
+	}
+	// The outermost window's direct stream just ended; release the inner
+	// windows it delayed, in start (document) order.
+	if err := r.finishResult(); err != nil {
+		return err
+	}
+	sort.Slice(r.queued, func(i, j int) bool { return r.queued[i].seq < r.queued[j].seq })
+	for _, q := range r.queued {
+		for _, t := range q.buf {
+			if err := r.emitTok(t); err != nil {
+				return err
+			}
+		}
+		r.curBytes -= q.bytes
+		if err := r.finishResult(); err != nil {
+			return err
+		}
+	}
+	r.queued = r.queued[:0]
+	r.flushCounters()
+	return nil
+}
+
+// ---- accounting ----
+
+func (r *Runner) noteWindow() {
+	r.stats.Windows++
+	r.env.Prof.AddStreamWindows(1)
+}
+
+func (r *Runner) finishResult() error {
+	r.stats.Results++
+	r.env.Prof.AddStreamResults(1)
+	if r.endResult != nil {
+		return r.endResult()
+	}
+	return nil
+}
+
+func (r *Runner) emitTok(t tokens.Token) error {
+	r.stats.OutputTokens++
+	r.outPend++
+	return r.emit(t)
+}
+
+// addBuf grows the live buffer estimate and maintains the high-water mark
+// (published to the profile as it rises, so /metrics stays current during
+// long feeds).
+func (r *Runner) addBuf(n int64) {
+	r.curBytes += n
+	if r.curBytes > r.stats.PeakBufferBytes {
+		r.stats.PeakBufferBytes = r.curBytes
+		r.env.Prof.NoteStreamBufferPeak(r.curBytes)
+	}
+}
+
+// tokBytes estimates the retained size of one buffered token.
+func tokBytes(t tokens.Token) int64 {
+	return int64(len(t.Name.Space)+len(t.Name.Local)+len(t.Value)) + 16
+}
+
+// ---- spine NFA ----
+
+// nfaStart advances the automaton into an element, reporting whether the
+// element completes the spine. Mirrors projection.Runner's flat state-set
+// stack, specialized to a single path.
+func (r *Runner) nfaStart(space, local string) bool {
+	top := r.marks[len(r.marks)-1]
+	cur := r.states[top:len(r.states):len(r.states)]
+	next := len(r.states)
+	matched := false
+	for _, si := range cur {
+		st := r.prog.spine[si]
+		if st.AnyDepth {
+			r.states = append(r.states, si) // may still match deeper
+		}
+		if st.Match(space, local) {
+			if int(si)+1 == len(r.prog.spine) {
+				matched = true
+			} else {
+				r.states = append(r.states, si+1)
+			}
+		}
+	}
+	r.marks = append(r.marks, int32(next))
+	return matched
+}
+
+func (r *Runner) nfaEnd() {
+	top := r.marks[len(r.marks)-1]
+	r.marks = r.marks[:len(r.marks)-1]
+	r.states = r.states[:top]
+}
+
+// ---- helpers ----
+
+func convName(n xml.Name) xdm.QName { return xdm.QName{Space: n.Space, Local: n.Local} }
+
+func isXmlns(n xml.Name) bool {
+	return n.Space == "xmlns" || (n.Space == "" && n.Local == "xmlns")
+}

@@ -1,0 +1,65 @@
+// Package streamexec is the event-driven streaming evaluator: a static
+// streamability analysis over optimized plans plus a SAX-style event-handler
+// automaton that evaluates streamable plans directly from the parser's token
+// stream, without materializing a document store.
+//
+// The design follows the continuous-query line the paper surveys (XQRL's
+// token-stream evaluation; Koch et al.'s buffer-minimizing FluXQuery): a plan
+// is split into a SPINE of forward element steps — matched against live
+// start/end-element events by a small NFA — and a per-window RESIDUAL
+// evaluated over one buffered window subtree at a time. The analysis proves a
+// buffer bound (one window) or refuses, in which case execution transparently
+// falls back to the regular store engine; results are never wrong, only
+// sometimes less incremental.
+package streamexec
+
+import (
+	"time"
+
+	"xqgo/internal/runtime"
+	"xqgo/internal/xdm"
+)
+
+// Class is the streamability classification of a plan.
+type Class uint8
+
+const (
+	// StoreRequired: the plan (or its input) needs random access to the
+	// document; execution uses the regular store engine.
+	StoreRequired Class = iota
+	// BoundedBuffer: the plan streams with buffering bounded by one window
+	// subtree (the matched spine element and its content).
+	BoundedBuffer
+	// FullyStreamable: the plan is an identity projection over disjoint
+	// windows; tokens are forwarded as they arrive with O(depth) state.
+	FullyStreamable
+)
+
+func (c Class) String() string {
+	switch c {
+	case FullyStreamable:
+		return "fully-streamable"
+	case BoundedBuffer:
+		return "bounded-buffers"
+	default:
+		return "store-required"
+	}
+}
+
+// Streamable reports whether plans of this class run on the event automaton.
+func (c Class) Streamable() bool { return c != StoreRequired }
+
+// Env carries the dynamic context a streaming execution shares with the
+// store engine: external variable values (Clark-notation keys), the
+// cancellation hook, the stable current dateTime, and the profile collecting
+// window/buffer counters.
+type Env struct {
+	Vars      map[string]xdm.Sequence
+	Interrupt func() error
+	Now       time.Time
+	Prof      *runtime.Profile
+	// StripWhitespace mirrors the ingestion option of the same name so the
+	// streamed view of the document matches what the store engine would have
+	// materialized (whitespace-only text between elements dropped).
+	StripWhitespace bool
+}

@@ -93,6 +93,12 @@ func (p *Incremental) advance() (done bool, err error) {
 		p.flushStats(1, 0)
 		return false, fmt.Errorf("xmlparse: %w", err)
 	}
+	if p.opts.Tap != nil {
+		if terr := p.opts.Tap(tok); terr != nil {
+			p.flushStats(1, 0)
+			return false, terr
+		}
+	}
 
 	before := p.b.NodeCount()
 	var skipped int64

@@ -31,6 +31,13 @@ type Options struct {
 	Projection *projection.Paths
 	// Stats, when non-nil, receives ingestion counter deltas.
 	Stats Stats
+	// Tap, when non-nil, observes every decoded token in document order,
+	// before whitespace stripping, projection skipping or materialization
+	// (the streamexec event bus: one parse pass can feed the store builder
+	// and any number of event-handler automata). A non-nil error aborts the
+	// parse with it. Token payloads ([]byte of CharData etc.) are only valid
+	// for the duration of the call.
+	Tap func(xml.Token) error
 }
 
 // Parse reads one XML document from r, eagerly: the incremental machinery

@@ -1,0 +1,259 @@
+package xqgo
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync/atomic"
+
+	"xqgo/internal/projection"
+	"xqgo/internal/runtime"
+	"xqgo/internal/store"
+	"xqgo/internal/streamexec"
+	"xqgo/internal/tokens"
+	"xqgo/internal/xmlparse"
+)
+
+// Subscriber registers any number of compiled queries as continuous queries
+// over one live XML feed and evaluates them all in a single parse pass.
+// Streamable queries (see Query.Streamability) run on the event-driven
+// evaluator and deliver each result item as soon as its window of the input
+// completes; store-required queries transparently fall back — the feed is
+// materialized once, under the union of their static projections, and they
+// evaluate when the feed ends.
+//
+// A Subscriber is single-use: register subscriptions, call Run once.
+// Delivery callbacks run on Run's goroutine; Subscription.Close is safe from
+// any goroutine.
+type Subscriber struct {
+	prof *Profile
+	subs []*Subscription
+}
+
+// NewSubscriber creates an empty subscriber.
+func NewSubscriber() *Subscriber { return &Subscriber{} }
+
+// WithProfile attaches a profile collecting the feed's engine counters
+// (stream windows/results, buffer high-water mark, fallbacks).
+func (s *Subscriber) WithProfile(p *Profile) *Subscriber {
+	s.prof = p
+	return s
+}
+
+// Subscribe registers a continuous query. deliver receives each result item
+// as a serialized XML fragment, in result order, on Run's goroutine; a
+// non-nil error cancels this subscription only (the feed keeps flowing to
+// the others). Queries requiring external variables are not supported as
+// subscriptions.
+func (s *Subscriber) Subscribe(q *Query, deliver func(xml []byte) error) *Subscription {
+	sub := &Subscription{query: q, prog: q.streamProgram(), deliver: deliver}
+	s.subs = append(s.subs, sub)
+	return sub
+}
+
+// Subscriptions returns the registered subscriptions in registration order.
+func (s *Subscriber) Subscriptions() []*Subscription { return s.subs }
+
+// Run consumes the feed to EOF, dispatching tokens to every subscription in
+// one pass. It returns the feed's error (parse failure, context
+// cancellation); per-subscription evaluation errors are recorded on their
+// Subscription (Err) and do not stop the feed.
+func (s *Subscriber) Run(ctx context.Context, r io.Reader, uri string) error {
+	env := streamexec.Env{Prof: s.prof}
+	if ctx != nil && ctx.Done() != nil {
+		env.Interrupt = func() error { return ctx.Err() }
+	}
+
+	d := &streamexec.Dispatcher{}
+	var fallback []*Subscription
+	proj := projection.New()
+	for _, sub := range s.subs {
+		if sub.prog.Streamable() {
+			sub.runner = streamexec.NewResultRunner(sub.prog, env, sub.safeDeliver)
+			sub.tap = d.Add(sub.runner.Token, sub.runner.Finish)
+			continue
+		}
+		s.prof.AddStreamFallback()
+		sub.fellBack = true
+		fallback = append(fallback, sub)
+		proj = unionProjection(proj, sub.query.ro.Projection)
+	}
+	if len(fallback) == 0 {
+		// No store needed: tokenize the whole feed, materialize nothing.
+		proj = projection.New()
+	}
+
+	p := xmlparse.ParseIncremental(r, xmlparse.Options{
+		URI:        uri,
+		Projection: proj,
+		Tap:        d.Token,
+	})
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		done, err := p.Advance()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	d.Finish()
+
+	// Store-required subscriptions evaluate over the materialized feed.
+	for _, sub := range fallback {
+		if sub.closed.Load() {
+			continue
+		}
+		if err := sub.evalStore(p.Document(), env); err != nil {
+			sub.storeErr.Store(&errBox{err})
+		}
+	}
+	return nil
+}
+
+// unionProjection merges one query's static projection into the shared
+// fallback projection (nil or keep-all poisons the union: the whole feed is
+// materialized).
+func unionProjection(acc, p *projection.Paths) *projection.Paths {
+	if acc.KeepAll {
+		return acc
+	}
+	if p == nil || p.KeepAll {
+		return projection.KeepEverything()
+	}
+	for _, path := range p.List {
+		acc.Add(path)
+	}
+	return acc
+}
+
+// Subscription is one continuous query registered on a Subscriber.
+type Subscription struct {
+	query   *Query
+	prog    *streamexec.Program
+	deliver func([]byte) error
+
+	// Streamable subscriptions.
+	runner *streamexec.Runner
+	tap    *streamexec.Tap
+
+	// Fallback subscriptions.
+	fellBack     bool
+	closed       atomic.Bool
+	storeResults atomic.Int64
+	storeErr     atomic.Pointer[errBox]
+}
+
+type errBox struct{ err error }
+
+// Class returns the subscription query's streamability class.
+func (s *Subscription) Class() StreamClass { return s.prog.Class() }
+
+// Reason explains a store-required class (empty otherwise).
+func (s *Subscription) Reason() string { return s.prog.Reason() }
+
+// Close cancels the subscription: no further results are delivered, the
+// feed continues for other subscriptions. Idempotent, safe from any
+// goroutine.
+func (s *Subscription) Close() {
+	s.closed.Store(true)
+	if s.tap != nil {
+		s.tap.Close()
+	}
+}
+
+// Err returns the error that ended this subscription early, if any (a
+// delivery error or a per-window evaluation error).
+func (s *Subscription) Err() error {
+	if s.tap != nil {
+		return s.tap.Err()
+	}
+	if b := s.storeErr.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// SubscriptionStats are one subscription's lifetime totals.
+type SubscriptionStats struct {
+	// Class is the streamability class ("fully-streamable",
+	// "bounded-buffers", "store-required").
+	Class string `json:"class"`
+	// FellBack marks a store-required subscription (evaluated at feed end).
+	FellBack bool `json:"fellBack"`
+	// Windows opened by the spine automaton (0 for fallbacks).
+	Windows int64 `json:"windows"`
+	// Results delivered.
+	Results int64 `json:"results"`
+	// PeakBufferBytes is the buffer high-water mark (0 for fully-streamable
+	// plans and fallbacks).
+	PeakBufferBytes int64 `json:"peakBufferBytes"`
+}
+
+// Stats snapshots the subscription's totals. Safe after Run returns, or
+// from delivery callbacks.
+func (s *Subscription) Stats() SubscriptionStats {
+	st := SubscriptionStats{Class: s.prog.Class().String(), FellBack: s.fellBack}
+	if s.runner != nil {
+		rs := s.runner.Stats()
+		st.Windows, st.Results, st.PeakBufferBytes = rs.Windows, rs.Results, rs.PeakBufferBytes
+		return st
+	}
+	st.Results = s.storeResults.Load()
+	return st
+}
+
+// safeDeliver drops results after Close without erroring the runner.
+func (s *Subscription) safeDeliver(xml []byte) error {
+	if s.closed.Load() {
+		return nil
+	}
+	return s.deliver(xml)
+}
+
+// evalStore runs a fallback subscription over the materialized feed,
+// framing each result item exactly like the streaming path (token
+// serialization per item).
+func (s *Subscription) evalStore(doc *store.Document, env streamexec.Env) error {
+	dyn := &runtime.Dynamic{
+		ContextItem: doc.RootNode(),
+		Interrupt:   env.Interrupt,
+		Now:         env.Now,
+		Prof:        env.Prof,
+	}
+	it, err := s.query.prepared.RunIterator(dyn)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	var buf bytes.Buffer
+	sw := tokens.NewStreamWriter(&buf)
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok || s.closed.Load() {
+			return nil
+		}
+		if err := runtime.EmitItemTokens(item, sw.WriteToken); err != nil {
+			return err
+		}
+		if err := sw.Close(); err != nil {
+			return err
+		}
+		out := append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		sw = tokens.NewStreamWriter(&buf)
+		s.storeResults.Add(1)
+		env.Prof.AddStreamResults(1)
+		if err := s.deliver(out); err != nil {
+			return err
+		}
+	}
+}

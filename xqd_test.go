@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -394,5 +395,96 @@ func TestXqdDaemonSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+// TestXqdGracefulShutdown: SIGTERM drains the daemon — a live /subscribe
+// feed (client still mid-upload) receives a terminal "goodbye" SSE event and
+// the process exits cleanly within the drain deadline. The subscription is
+// driven over raw TCP with chunked transfer encoding, so the half-finished
+// request body and the streaming response stay fully under test control.
+func TestXqdGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "xqd")
+	if _, errOut, err := runTool(t, "build", "-o", bin, "./cmd/xqd"); err != nil {
+		t.Fatalf("go build ./cmd/xqd: %v\n%s", err, errOut)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("no startup line from xqd")
+	}
+	addr := strings.TrimPrefix(sc.Text(), "xqd listening on ")
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(15 * time.Second))
+
+	// Open the subscription with a chunked body that never finishes: one
+	// complete book arrives, then the feed goes silent.
+	fmt.Fprintf(conn, "POST /subscribe?query=%%2Fbib%%2Fbook HTTP/1.1\r\n"+
+		"Host: %s\r\nTransfer-Encoding: chunked\r\nContent-Type: application/xml\r\n\r\n", addr)
+	chunk := "<bib><book><title>live</title></book>"
+	fmt.Fprintf(conn, "%x\r\n%s\r\n", len(chunk), chunk)
+
+	// The first result proves the subscription is live and streaming.
+	waitConn := func(substr string, got *strings.Builder) {
+		t.Helper()
+		buf := make([]byte, 4096)
+		for !strings.Contains(got.String(), substr) {
+			n, err := conn.Read(buf)
+			got.Write(buf[:n])
+			if err != nil {
+				t.Fatalf("waiting for %q: %v (got %q)", substr, err, got.String())
+			}
+		}
+	}
+	var stream strings.Builder
+	waitConn("event: result", &stream)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitConn("event: goodbye", &stream)
+
+	// Drain stdout to EOF (the process closing it) before Wait — Wait tears
+	// the pipe down and would race the banner away.
+	tailCh := make(chan string, 1)
+	go func() {
+		var tail strings.Builder
+		for sc.Scan() {
+			tail.WriteString(sc.Text())
+		}
+		tailCh <- tail.String()
+	}()
+	var tail string
+	select {
+	case tail = <-tailCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("xqd did not exit within the drain deadline")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("xqd exited with error: %v", err)
+	}
+	if !strings.Contains(tail, "xqd shut down") {
+		t.Errorf("missing shutdown banner in stdout: %q", tail)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 	"iter"
 	"math"
+	"sync"
 	"time"
 
 	"xqgo/internal/expr"
@@ -24,6 +25,7 @@ import (
 	"xqgo/internal/runtime"
 	"xqgo/internal/serializer"
 	"xqgo/internal/store"
+	"xqgo/internal/streamexec"
 	"xqgo/internal/structjoin"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xmlparse"
@@ -116,6 +118,11 @@ type Query struct {
 	prepared *runtime.Prepared
 	plan     *expr.Query
 	trace    *optimizer.Trace // rewrite trace; nil when NoOptimize
+	ro       runtime.Options  // engine options, reused by the stream compiler
+
+	// Lazily compiled streaming form (see Streamability / WithStreamMode).
+	streamOnce sync.Once
+	sprog      *streamexec.Program
 }
 
 // Compile parses, optimizes and compiles an XQuery source text.
@@ -153,7 +160,7 @@ func Compile(src string, opts *Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{prepared: prepared, plan: q, trace: trace}, nil
+	return &Query{prepared: prepared, plan: q, trace: trace, ro: ro}, nil
 }
 
 // MustCompile is Compile that panics on error (for tests and examples).
@@ -271,6 +278,13 @@ type Context struct {
 	dyn  *runtime.Dynamic
 	reg  *runtime.DocRegistry
 	hook func() error // user hook from WithInterrupt, kept for ctx composition
+
+	// Stream-mode state (see WithStreamMode): the raw reader behind
+	// WithStreamingInput, kept here so the event-driven evaluator can own
+	// the parse when the plan is streamable.
+	streamMode bool
+	streamR    io.Reader
+	streamURI  string
 }
 
 // NewContext creates an empty context with an in-memory document registry
@@ -351,6 +365,8 @@ func (c *Context) WithInterrupt(f func() error) *Context {
 // go unreported — the stream is only read, and only validated, on demand.
 func (c *Context) WithStreamingInput(r io.Reader, uri string) *Context {
 	c.dyn.Stream = runtime.NewStreamState(r, xmlparse.Options{URI: uri})
+	c.streamR = r
+	c.streamURI = uri
 	return c
 }
 
@@ -547,6 +563,11 @@ func (q *Query) Execute(ctx *Context, w io.Writer) error {
 	if ctx == nil {
 		ctx = NewContext()
 	}
+	if ctx.streamMode {
+		if handled, err := q.tryExecuteStream(ctx, w); handled {
+			return err
+		}
+	}
 	return q.prepared.ExecuteToWriter(ctx.dyn, w)
 }
 
@@ -559,6 +580,11 @@ func (q *Query) ExecuteContext(ctx context.Context, c *Context, w io.Writer) err
 		return err
 	}
 	c.bindContext(ctx)
+	if c.streamMode {
+		if handled, err := q.tryExecuteStream(c, w); handled {
+			return err
+		}
+	}
 	return q.prepared.ExecuteToWriter(c.dyn, w)
 }
 
