@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"xqgo"
@@ -37,6 +38,11 @@ type benchReport struct {
 	// parse, full runtime) versus stream mode (results emitted per window,
 	// nothing materialized).
 	StreamEval []streamEvalRow `json:"streamEval"`
+	// TraceOverhead holds the request-tracing cost comparison: the same
+	// stream-mode paper query with tracing off, with only the skeleton
+	// stage spans (no profile), and profiled with/without a trace (full
+	// per-operator span synthesis). CI gates on the on/off ratios.
+	TraceOverhead []benchRow `json:"traceOverhead"`
 }
 
 // streamEvalRow is one streaming-evaluator measurement.
@@ -345,6 +351,84 @@ func (r *runner) runJSON(path string) error {
 			m.name, d.Nanoseconds(), ttfb, counters.StreamBufferPeakBytes, counters.StreamWindows, class)
 	}
 
+	// Trace-overhead comparison: the paper query in stream mode, crossed
+	// over {profile on/off} x {trace on/off}. Profiled and traced is the
+	// full observability configuration (op spans synthesized from the
+	// profile at Finish); unprofiled and traced is the skeleton — just the
+	// execute/rewrite/projection stage spans, which is all the machinery
+	// the off path's nil checks guard. Gates below hold tracing to <= 5%
+	// over the same profiled run and the skeleton to the noise floor
+	// (<= 1% plus absolute slack). A ~2 MiB feed keeps single runs short
+	// enough to repeat many times.
+	var traceXML []byte
+	{
+		var buf bytes.Buffer
+		if err := workload.WriteXML(&buf, workload.Orders(workload.OrdersConfig{Lines: 16000, Sellers: 50, Seed: 4})); err != nil {
+			return err
+		}
+		traceXML = buf.Bytes()
+	}
+	traceRun := func(profiled, traced bool) func() {
+		return func() {
+			ctx := xqgo.NewContext().
+				WithStreamingInput(bytes.NewReader(traceXML), "bench:orders").
+				WithStreamMode(true)
+			if profiled {
+				ctx.WithProfile(stream.NewCountersProfile())
+			}
+			var tr *xqgo.Trace
+			if traced {
+				tr = xqgo.NewTrace()
+				ctx.WithTrace(tr)
+			}
+			if err := stream.Execute(ctx, io.Discard); err != nil {
+				panic(err)
+			}
+			if tr != nil {
+				if d := tr.Finish(); len(d.Spans) == 0 {
+					panic("traced run produced no spans")
+				}
+			}
+		}
+	}
+	traceModes := []struct {
+		name              string
+		profiled, tracing bool
+	}{
+		{"trace/off", false, false},
+		{"trace/skeleton", false, true},
+		{"trace/untraced-profiled", true, false},
+		{"trace/traced-profiled", true, true},
+	}
+	// Interleaved min-of-reps timing: each rep runs all four configurations
+	// back to back (so clock drift and cache warmth cancel out of the
+	// on/off ratios the gates compare), and each configuration reports its
+	// fastest rep — the minimum discards scheduler and neighbor
+	// interference, which is random, while a real tracing overhead is
+	// systematic and survives in every rep.
+	traceReps := r.reps
+	if traceReps < 7 {
+		traceReps = 7
+	}
+	samples := make([][]time.Duration, len(traceModes))
+	for rep := 0; rep < traceReps; rep++ {
+		for i, m := range traceModes {
+			fn := traceRun(m.profiled, m.tracing)
+			start := time.Now()
+			fn()
+			samples[i] = append(samples[i], time.Since(start))
+		}
+	}
+	traceNs := map[string]int64{}
+	for i, m := range traceModes {
+		ds := samples[i]
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		best := ds[0].Nanoseconds()
+		traceNs[m.name] = best
+		rep.TraceOverhead = append(rep.TraceOverhead, benchRow{Name: m.name, NsPerOp: best})
+		fmt.Fprintf(os.Stderr, "xqbench: %-28s %12d ns/op\n", m.name, best)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -387,6 +471,21 @@ func (r *runner) runJSON(path string) error {
 	}
 	if peak := sePeak["stream-eval/paper-query"]; peak <= 0 || peak > int64(len(ordersXML)/100) {
 		return fmt.Errorf("stream-eval peak buffer %d B out of bounds for a %d B feed", peak, len(ordersXML))
+	}
+	// Tracing gates. Per-request tracing synthesizes spans from the profile
+	// after the run, so with tracing on the whole execution may cost at most
+	// 5% over the identical untraced run. The skeleton row (tracing enabled
+	// with no profile) does strictly more work than the real off path — the
+	// off path is only nil checks — so holding the skeleton to 1% bounds the
+	// off-path cost from above. Both gates carry a small absolute slack so
+	// millisecond-scale scheduler wobble on a shared CI machine cannot trip
+	// them; a real regression (say, a span per window) costs far more.
+	slack := int64(2 * time.Millisecond)
+	if on, off := traceNs["trace/traced-profiled"], traceNs["trace/untraced-profiled"]; float64(on) > 1.05*float64(off)+float64(slack) {
+		return fmt.Errorf("tracing-on overhead regression: traced %d ns/op > 5%% over untraced %d ns/op", on, off)
+	}
+	if on, off := traceNs["trace/skeleton"], traceNs["trace/off"]; float64(on) > 1.01*float64(off)+float64(slack) {
+		return fmt.Errorf("tracing off-path overhead regression: skeleton spans %d ns/op > 1%% over untraced %d ns/op", on, off)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -59,6 +60,9 @@ func main() {
 		maxSubs   = flag.Int("max-subscriptions", 0, "continuous queries per /subscribe request (0 = default 16)")
 		maxFeeds  = flag.Int("max-subscribers", 0, "concurrent subscriber feeds before 503 (0 = default 64)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); never exposed on the public listener")
+		noTrace   = flag.Bool("no-tracing", false, "disable per-request trace capture (GET /traces, slow-log links, exemplars)")
+		traceRing = flag.Int("trace-ring", 0, "completed traces retained for GET /traces (0 = default 256)")
+		logFormat = flag.String("log-format", "", "structured access/lifecycle logging: text or json (empty = legacy plain stderr)")
 	)
 	var docs multiFlag
 	flag.Var(&docs, "doc", "preload document: name=file.xml (repeatable)")
@@ -67,6 +71,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: xqd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// -log-format switches on structured logging: lifecycle events and one
+	// access-log record per request, each carrying the request's trace id so
+	// log lines correlate with GET /traces/{id}.
+	var logger *slog.Logger
+	switch *logFormat {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("-log-format %q: want text or json", *logFormat))
 	}
 
 	svc := service.New(service.Config{
@@ -80,6 +98,8 @@ func main() {
 		DisableProfiling:   *noProf,
 		MaxSubscriptions:   *maxSubs,
 		MaxSubscribers:     *maxFeeds,
+		DisableTracing:     *noTrace,
+		TraceRingSize:      *traceRing,
 		Options: xqgo.Options{
 			UseStructuralJoins: *joins,
 			MemoizeFunctions:   *memo,
@@ -104,7 +124,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("-doc %s: %v", spec, err))
 		}
-		fmt.Fprintf(os.Stderr, "xqd: loaded %s: %d bytes, %d nodes\n", name, info.Bytes, info.Nodes)
+		if logger != nil {
+			logger.Info("document loaded", "name", name, "bytes", info.Bytes, "nodes", info.Nodes)
+		} else {
+			fmt.Fprintf(os.Stderr, "xqd: loaded %s: %d bytes, %d nodes\n", name, info.Bytes, info.Nodes)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -136,7 +160,12 @@ func main() {
 	// Announce the bound address on stdout so callers using :0 (tests,
 	// scripts) can discover the port.
 	fmt.Printf("xqd listening on %s\n", ln.Addr())
-	srv := &http.Server{Handler: service.NewHTTPHandler(svc)}
+	handler := service.NewHTTPHandler(svc)
+	if logger != nil {
+		logger.Info("listening", "addr", ln.Addr().String())
+		handler = service.AccessLog(logger, handler)
+	}
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -149,7 +178,11 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal kills immediately
-		fmt.Fprintf(os.Stderr, "xqd: shutting down (drain %v)\n", *drain)
+		if logger != nil {
+			logger.Info("shutting down", "drain", *drain)
+		} else {
+			fmt.Fprintf(os.Stderr, "xqd: shutting down (drain %v)\n", *drain)
+		}
 		// End live subscriber feeds first — each gets a terminal "goodbye"
 		// SSE event — so http.Server.Shutdown (which waits for in-flight
 		// requests but never cancels them) can actually drain.

@@ -10,6 +10,7 @@ import (
 	"xqgo/internal/projection"
 	"xqgo/internal/store"
 	"xqgo/internal/structjoin"
+	"xqgo/internal/trace"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xmlparse"
 )
@@ -47,6 +48,15 @@ type Dynamic struct {
 	// engine only ever nil-checks this pointer on the hot path, so leaving
 	// it nil keeps profiling free.
 	Prof *Profile
+
+	// Trace, when non-nil, collects request-scoped spans (see
+	// internal/trace). The engine itself never touches it on the hot path —
+	// per-operator and ingestion spans are synthesized from Prof counters
+	// after execution — so the per-item cost of tracing is zero; only
+	// coarse-grained stages (streaming windows, delivery) record live spans.
+	// TraceSpan is the parent span execution-stage spans hang under.
+	Trace     *trace.Trace
+	TraceSpan *trace.Span
 
 	once    sync.Once
 	nowAtom xdm.Atomic

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"xqgo/internal/expr"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xtypes"
+)
+
+// Static cardinality estimation. Each tagged operator gets a compile-time
+// estimate of how many items it will produce per instantiation, derived from
+// the type system's occurrence indicator (the sound upper-bound inference in
+// internal/expr/typing.go). Operator trace spans report this next to the
+// observed item count, which is the feed-forward signal the ROADMAP's
+// cost-based plan selection needs: persistent estimate/observed gaps mark
+// exactly the operators where a uniform-fanout assumption breaks down.
+//
+// The scale is deliberately coarse:
+//
+//	empty-sequence()  → 0
+//	T / T?            → 1 (the type system proves at most one item)
+//	T* / T+           → estFanout, or the exact count when the expression
+//	                    is a literal range / literal sequence
+//
+// estFanout is the uniform branching assumption traditional XML estimators
+// (Markov tables, path synopses) refine per step; refining it is future
+// cost-model work, not this layer's job.
+const estFanout = 8
+
+// estimate returns the static per-instantiation cardinality estimate for a
+// tagged operator's expression.
+func estimate(e expr.Expr) int64 {
+	switch n := e.(type) {
+	case *expr.Range:
+		if lo, ok := literalInt(n.Lo); ok {
+			if hi, ok := literalInt(n.Hi); ok {
+				if hi < lo {
+					return 0
+				}
+				return hi - lo + 1
+			}
+		}
+	case *expr.Seq:
+		var sum int64
+		for _, item := range n.Items {
+			sum += estimate(item)
+		}
+		return sum
+	}
+	switch expr.Infer(e, nil).Occ {
+	case xtypes.OccEmpty:
+		return 0
+	case xtypes.OccOne, xtypes.OccOpt:
+		return 1
+	default:
+		return estFanout
+	}
+}
+
+func literalInt(e expr.Expr) (int64, bool) {
+	lit, ok := e.(*expr.Literal)
+	if !ok || lit.Val.T != xdm.TInteger {
+		return 0, false
+	}
+	return lit.Val.AsInt(), true
+}

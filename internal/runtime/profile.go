@@ -24,13 +24,16 @@ import (
 // All counters are atomic: the Parallel engine shares one Dynamic (and hence
 // one Profile) across branch goroutines.
 
-// OpInfo identifies one tagged operator of a compiled plan.
+// OpInfo identifies one tagged operator of a compiled plan. EstItems is the
+// static per-instantiation cardinality estimate (see estimate.go) that trace
+// spans report against the observed item count.
 type OpInfo struct {
-	ID     int    `json:"id"`
-	Kind   string `json:"kind"`
-	Detail string `json:"detail,omitempty"`
-	Line   int    `json:"line"`
-	Col    int    `json:"col"`
+	ID       int    `json:"id"`
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail,omitempty"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	EstItems int64  `json:"estItems"`
 }
 
 // opCounters are the per-operator statistics of one execution.
@@ -250,16 +253,46 @@ func (p *Profile) AddStreamFallback() {
 // (streamexec batches its output-token accounting through this).
 func (p *Profile) AddXMLTokens(n int64) { p.addXMLTokens(n) }
 
-// OpReport is the per-operator row of a profile report.
+// Merge folds another execution's engine-wide counter totals into this
+// profile. Operator rows cannot merge across profiles — operator ids are
+// plan-specific — so only the CounterReport section transfers; the buffer
+// peak is max-merged like NoteStreamBufferPeak. Use when a sub-execution
+// (a streaming residual plan, a store-fallback subscription) profiled under
+// its own plan-sized profile and its totals belong to the request's profile.
+func (p *Profile) Merge(c CounterReport) {
+	if p == nil {
+		return
+	}
+	p.c.xmlTokens.Add(c.XMLTokens)
+	p.c.nodesMaterialized.Add(c.NodesMaterialized)
+	p.c.memoHits.Add(c.MemoHits)
+	p.c.memoMisses.Add(c.MemoMisses)
+	p.c.indexHits.Add(c.IndexHits)
+	p.c.indexBuilds.Add(c.IndexBuilds)
+	p.c.structJoins.Add(c.StructJoins)
+	p.c.interruptPolls.Add(c.InterruptPolls)
+	p.c.docNodesBuilt.Add(c.DocNodesBuilt)
+	p.c.nodesSkipped.Add(c.NodesSkipped)
+	p.c.bytesParsed.Add(c.BytesParsedOnDemand)
+	p.c.streamWindows.Add(c.StreamWindows)
+	p.c.streamResults.Add(c.StreamResults)
+	p.c.streamFallbacks.Add(c.StreamFallbacks)
+	p.NoteStreamBufferPeak(c.StreamBufferPeakBytes)
+}
+
+// OpReport is the per-operator row of a profile report. EstItems is the
+// static cardinality estimate per instantiation; compare against
+// Items/Starts for the observed mean.
 type OpReport struct {
-	ID     int    `json:"id"`
-	Kind   string `json:"kind"`
-	Detail string `json:"detail,omitempty"`
-	Line   int    `json:"line"`
-	Col    int    `json:"col"`
-	Starts int64  `json:"starts"`
-	Items  int64  `json:"items"`
-	Nanos  int64  `json:"nanos,omitempty"`
+	ID       int    `json:"id"`
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail,omitempty"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Starts   int64  `json:"starts"`
+	Items    int64  `json:"items"`
+	Nanos    int64  `json:"nanos,omitempty"`
+	EstItems int64  `json:"estItems"`
 }
 
 // CounterReport is the engine-wide counter section of a profile report.
@@ -308,6 +341,7 @@ func (p *Profile) Report() Report {
 			ID: info.ID, Kind: info.Kind, Detail: info.Detail,
 			Line: info.Line, Col: info.Col,
 			Starts: starts, Items: op.items.Load(), Nanos: op.nanos.Load(),
+			EstItems: info.EstItems,
 		})
 	}
 	rep.Counters = CounterReport{
@@ -345,6 +379,7 @@ func (c *compiler) tag(kind string, e expr.Expr, fn seqFn) seqFn {
 	pos := e.Span()
 	c.ops = append(c.ops, OpInfo{
 		ID: id, Kind: kind, Detail: exprSummary(e), Line: pos.Line, Col: pos.Col,
+		EstItems: estimate(e),
 	})
 	return func(fr *Frame) Iter {
 		p := fr.dyn.Prof

@@ -76,6 +76,11 @@ func (s ingestStats) OnParse(tokens, built, skipped, bytes int64) {
 	p.addBytesParsed(bytes)
 }
 
+// IngestStats returns the xmlparse.Stats sink routing parser counters into
+// d's profile. The event-driven stream path drives its own parse (bypassing
+// StreamState), so it needs the same sink StreamState installs internally.
+func IngestStats(d *Dynamic) xmlparse.Stats { return ingestStats{d: d} }
+
 // RunIter is a closable result iterator over one execution: the engine
 // boundary for callers that pull items instead of materializing. Unlike the
 // raw plan iterator it converts lazy-ingestion panics into errors and can

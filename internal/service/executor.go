@@ -76,3 +76,7 @@ func (e *Executor) Queued() int64 {
 
 // Workers returns the concurrency limit.
 func (e *Executor) Workers() int { return cap(e.slots) }
+
+// Saturated reports whether a request arriving now would be rejected with
+// ErrSaturated — the readiness signal behind GET /healthz.
+func (e *Executor) Saturated() bool { return e.admitted.Load() >= e.limit }

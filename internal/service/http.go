@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"xqgo"
+	"xqgo/internal/trace"
 )
 
 // NewHTTPHandler exposes the service over HTTP (stdlib net/http only):
@@ -33,9 +36,19 @@ import (
 //	                             Server-Sent Events from a single shared
 //	                             parse pass
 //	GET      /stats              counters, latency percentiles, cache ratios
-//	GET      /metrics            Prometheus text exposition
-//	GET      /slow               slow-query log (newest first, with profiles)
-//	GET      /healthz            liveness
+//	GET      /metrics            Prometheus text exposition (OpenMetrics with
+//	                             trace exemplars when Accept asks for it)
+//	GET      /slow               slow-query log (newest first, with profiles
+//	                             and trace-id links)
+//	GET      /traces             completed request traces, newest first
+//	GET      /traces/{id}        one trace's full span tree
+//	GET      /subscriptions      live subscriber feeds with per-handle gauges
+//	GET      /healthz            readiness: 200 while serving, 503 when the
+//	                             admission queue is full or shutting down
+//
+// Query and subscribe requests honor an incoming W3C traceparent header
+// (the captured trace continues the caller's trace id) and answer with
+// Traceparent and X-Trace-Id response headers pointing at the capture.
 func NewHTTPHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	register := func(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +101,11 @@ func NewHTTPHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			s.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.WriteMetrics(w)
 	})
@@ -99,11 +117,97 @@ func NewHTTPHandler(s *Service) http.Handler {
 			Entries:         entries,
 		})
 	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		traces, total := s.Traces()
+		writeJSON(w, http.StatusOK, tracesResponse{Total: total, Traces: traces})
+	})
+	mux.HandleFunc("GET /traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		d, ok := s.TraceByID(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: fmt.Sprintf("trace %q not found (ring keeps the most recent %d)", r.PathValue("id"), s.traces.Len())})
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	})
+	mux.HandleFunc("GET /subscriptions", func(w http.ResponseWriter, r *http.Request) {
+		feeds := s.Subscriptions()
+		writeJSON(w, http.StatusOK, subscriptionsResponse{Active: len(feeds), Feeds: feeds})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, s.healthStatus(), s.Health())
 	})
 	return mux
+}
+
+// Health is the GET /healthz readiness report.
+type Health struct {
+	// Status is "ok" when the service can take a query right now, else
+	// "saturated" or "shutting-down".
+	Status string `json:"status"`
+	// Documents is the number of catalog documents loaded.
+	Documents int `json:"documents"`
+	// Workers/InFlight/Queued describe the executor pool.
+	Workers  int   `json:"workers"`
+	InFlight int64 `json:"inFlight"`
+	Queued   int64 `json:"queued"`
+	// ActiveFeeds is the number of live subscriber connections.
+	ActiveFeeds int64   `json:"activeFeeds"`
+	UptimeSecs  float64 `json:"uptimeSecs"`
+}
+
+// Health snapshots readiness: whether a request arriving now would be served.
+func (s *Service) Health() Health {
+	docs, _, _ := s.Catalog.Totals()
+	h := Health{
+		Status:      "ok",
+		Documents:   docs,
+		Workers:     s.exec.Workers(),
+		InFlight:    s.exec.InFlight(),
+		Queued:      s.exec.Queued(),
+		ActiveFeeds: s.subs.active.Load(),
+		UptimeSecs:  time.Since(s.stats.start).Seconds(),
+	}
+	switch {
+	case s.ShuttingDown():
+		h.Status = "shutting-down"
+	case s.exec.Saturated():
+		h.Status = "saturated"
+	}
+	return h
+}
+
+func (s *Service) healthStatus() int {
+	if s.ShuttingDown() || s.exec.Saturated() {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusOK
+}
+
+// requestTrace builds the trace for an incoming HTTP request: an incoming
+// W3C traceparent header is always honored (continuing the caller's trace
+// id, even with tracing disabled); otherwise a fresh trace unless disabled.
+func requestTrace(r *http.Request, disabled bool) *xqgo.Trace {
+	if hdr := r.Header.Get("traceparent"); hdr != "" {
+		if tr, ok := xqgo.TraceFromHeader(hdr); ok {
+			return tr
+		}
+	}
+	if disabled {
+		return nil
+	}
+	return xqgo.NewTrace()
+}
+
+// traceHeaders announces the capture on the response before the body
+// commits: Traceparent for W3C-propagating clients, X-Trace-Id for humans
+// pasting into GET /traces/{id}.
+func traceHeaders(w http.ResponseWriter, tr *xqgo.Trace) {
+	if tr == nil {
+		return
+	}
+	w.Header().Set("Traceparent", tr.Traceparent())
+	w.Header().Set("X-Trace-Id", tr.ID())
 }
 
 // queryRequest is the POST /query body.
@@ -127,6 +231,8 @@ type queryResponse struct {
 	Cached  bool            `json:"cached"`
 	Micros  int64           `json:"micros"`
 	Profile *ExplainProfile `json:"profile,omitempty"`
+	// TraceID names the request's captured span tree (GET /traces/{id}).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // slowLogResponse is the GET /slow envelope.
@@ -134,6 +240,18 @@ type slowLogResponse struct {
 	ThresholdMicros int64       `json:"thresholdMicros"`
 	Total           uint64      `json:"total"`
 	Entries         []SlowEntry `json:"entries"`
+}
+
+// tracesResponse is the GET /traces envelope.
+type tracesResponse struct {
+	Total  uint64       `json:"total"`
+	Traces []trace.Data `json:"traces"`
+}
+
+// subscriptionsResponse is the GET /subscriptions envelope.
+type subscriptionsResponse struct {
+	Active int          `json:"active"`
+	Feeds  []FeedStatus `json:"feeds"`
 }
 
 // isXMLContentType reports whether a Content-Type header value names an XML
@@ -167,6 +285,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &BadRequestError{Err: errors.New("missing \"query\"")})
 		return
 	}
+	tr := requestTrace(r, s.cfg.DisableTracing)
 	req := Request{
 		Query:          qr.Query,
 		ContextDoc:     qr.Doc,
@@ -174,12 +293,14 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Timeout:        time.Duration(qr.TimeoutMs) * time.Millisecond,
 		MaxResultBytes: qr.MaxResultBytes,
 		Explain:        qr.Explain || r.URL.Query().Get("explain") == "1",
+		Trace:          tr,
 	}
+	traceHeaders(w, tr)
 	if qr.Stream {
 		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 		// Status and headers are committed at the first write; errors after
 		// that can only truncate the stream.
-		if _, err := s.Execute(r.Context(), req, w); err != nil {
+		if _, _, err := s.Execute(r.Context(), req, w); err != nil {
 			writeError(w, err) // no-op on the status line if already streaming
 		}
 		return
@@ -194,6 +315,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:  res.Cached,
 		Micros:  res.Elapsed.Microseconds(),
 		Profile: res.Profile,
+		TraceID: res.TraceID,
 	})
 }
 
@@ -214,19 +336,22 @@ func (s *Service) handleStreamQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	timeoutMs, _ := strconv.ParseInt(qs.Get("timeoutMs"), 10, 64)
 	maxBytes, _ := strconv.ParseInt(qs.Get("maxResultBytes"), 10, 64)
+	tr := requestTrace(r, s.cfg.DisableTracing)
 	req := Request{
 		Query:          query,
 		Body:           r.Body,
 		StreamMode:     qs.Get("mode") != "store",
 		Timeout:        time.Duration(timeoutMs) * time.Millisecond,
 		MaxResultBytes: maxBytes,
+		Trace:          tr,
 	}
 	// Full duplex lets the result stream out while the body is still being
 	// read — otherwise HTTP/1.x drains (and closes) the body at the first
 	// response write, which defeats incremental evaluation entirely.
 	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	if _, err := s.Execute(r.Context(), req, w); err != nil {
+	traceHeaders(w, tr)
+	if _, _, err := s.Execute(r.Context(), req, w); err != nil {
 		writeError(w, err) // no-op on the status line if already streaming
 	}
 }

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Structured access logging for the HTTP surface: one slog record per
+// completed request, carrying the trace id the handler assigned so log lines
+// correlate with GET /traces/{id} and the slow-query log.
+
+// loggedWriter observes the response status and byte count. It implements
+// both Unwrap (so http.ResponseController reaches EnableFullDuplex on the
+// real writer) and Flush (so SSE frames still flush through the wrapper —
+// handleSubscribe type-asserts http.Flusher on what it is handed).
+type loggedWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (l *loggedWriter) WriteHeader(status int) {
+	if l.status == 0 {
+		l.status = status
+	}
+	l.ResponseWriter.WriteHeader(status)
+}
+
+func (l *loggedWriter) Write(p []byte) (int, error) {
+	if l.status == 0 {
+		l.status = http.StatusOK
+	}
+	n, err := l.ResponseWriter.Write(p)
+	l.bytes += int64(n)
+	return n, err
+}
+
+func (l *loggedWriter) Unwrap() http.ResponseWriter { return l.ResponseWriter }
+
+func (l *loggedWriter) Flush() {
+	if f, ok := l.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps an HTTP handler with structured per-request logging on
+// logger (default slog) at Info level: method, path, status, bytes written,
+// latency, remote address, and the trace id from the handler's X-Trace-Id
+// response header when tracing captured one.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lw := &loggedWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(lw, r)
+		status := lw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", lw.bytes),
+			slog.Duration("elapsed", time.Since(start)),
+			slog.String("remote", r.RemoteAddr),
+		}
+		if id := lw.Header().Get("X-Trace-Id"); id != "" {
+			attrs = append(attrs, slog.String("traceId", id))
+		}
+		logger.Info("request", attrs...)
+	})
+}

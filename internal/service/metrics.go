@@ -3,7 +3,10 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -11,9 +14,52 @@ import (
 // is computed from statsCore's fixed buckets — no sorting, no window scan —
 // so scraping stays O(buckets) regardless of traffic.
 
+// openMetricsContentType is the OpenMetrics media type GET /metrics answers
+// with when the scraper asks for it (Accept negotiation).
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics exposition (which adds trace-id exemplars to the latency
+// histogram). Plain prefix scan over the comma list; q-values are ignored —
+// a scraper listing the media type at all gets it.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// buildInfoLabels resolves the xqgo_build_info label set once: the main
+// module's version ("(devel)" for source builds) and the Go toolchain.
+var buildInfoLabels = sync.OnceValue(func() string {
+	version, goVersion := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	}
+	return fmt.Sprintf("{goversion=%q,version=%q}", goVersion, version)
+})
+
 // WriteMetrics renders every service metric in Prometheus text format
 // (version 0.0.4).
 func (s *Service) WriteMetrics(w io.Writer) {
+	s.writeMetrics(w, false)
+}
+
+// WriteOpenMetrics renders the same metrics in OpenMetrics text format:
+// histogram buckets carry trace-id exemplars linking latency spikes to
+// GET /traces/{id}, and the exposition ends with the mandatory # EOF.
+func (s *Service) WriteOpenMetrics(w io.Writer) {
+	s.writeMetrics(w, true)
+	fmt.Fprintf(w, "# EOF\n")
+}
+
+func (s *Service) writeMetrics(w io.Writer, exemplars bool) {
 	st := s.stats
 	st.mu.Lock()
 	served, errs, rej, to := st.served, st.errors, st.rejected, st.timeouts
@@ -41,14 +87,28 @@ func (s *Service) WriteMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP xqd_request_duration_seconds Service-side request latency (queue wait included; rejections excluded).\n")
 	fmt.Fprintf(w, "# TYPE xqd_request_duration_seconds histogram\n")
+	var exes []exemplar
+	if exemplars {
+		exes = st.exemplars()
+	}
+	bucketExemplar := func(i int) string {
+		if i >= len(exes) || exes[i].traceID == "" {
+			return ""
+		}
+		e := exes[i]
+		return fmt.Sprintf(" # {trace_id=%q} %s %s", e.traceID,
+			strconv.FormatFloat(e.value, 'g', -1, 64),
+			strconv.FormatFloat(float64(e.ts.UnixNano())/1e9, 'f', 3, 64))
+	}
 	cum := uint64(0)
 	for i, ub := range latBuckets {
 		cum += buckets[i]
-		fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"%s\"} %d\n",
-			strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"%s\"} %d%s\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), cum, bucketExemplar(i))
 	}
 	cum += buckets[len(latBuckets)]
-	fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "xqd_request_duration_seconds_bucket{le=\"+Inf\"} %d%s\n",
+		cum, bucketExemplar(len(latBuckets)))
 	fmt.Fprintf(w, "xqd_request_duration_seconds_sum %s\n",
 		strconv.FormatFloat(sum.Seconds(), 'g', -1, 64))
 	fmt.Fprintf(w, "xqd_request_duration_seconds_count %d\n", count)
@@ -118,6 +178,14 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "xqd_subscription_fallbacks_total %d\n", sc.fallbacks.Load())
 	gauge("xqd_subscription_buffer_peak_bytes", "Largest window buffer any subscription held.")
 	fmt.Fprintf(w, "xqd_subscription_buffer_peak_bytes %d\n", sc.peakBuffer.Load())
+
+	gauge("xqgo_build_info", "Build metadata of the serving binary (value is always 1).")
+	fmt.Fprintf(w, "xqgo_build_info%s 1\n", buildInfoLabels())
+
+	counter("xqd_traces_total", "Request traces captured.")
+	fmt.Fprintf(w, "xqd_traces_total %d\n", s.traces.Total())
+	gauge("xqd_trace_ring_size", "Completed traces retained for GET /traces.")
+	fmt.Fprintf(w, "xqd_trace_ring_size %d\n", s.traces.Len())
 
 	gauge("xqd_uptime_seconds", "Seconds since service start.")
 	fmt.Fprintf(w, "xqd_uptime_seconds %s\n",

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xqgo"
+	"xqgo/internal/trace"
 )
 
 // Config tunes the service.
@@ -52,6 +53,13 @@ type Config struct {
 	// feeds do not occupy executor worker slots — they are long-lived and
 	// would starve the query pool.
 	MaxSubscribers int
+	// DisableTracing turns off the per-request span capture that feeds
+	// GET /traces, slow-log trace links and /metrics exemplars. Requests
+	// carrying their own Request.Trace are still honored.
+	DisableTracing bool
+	// TraceRingSize bounds the completed-trace ring served by GET /traces
+	// (default 256 entries).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +106,7 @@ type Service struct {
 	stats   *statsCore
 	slow    *slowLog
 	subs    *subCore
+	traces  *trace.Store
 
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
@@ -113,9 +122,21 @@ func New(cfg Config) *Service {
 		exec:     NewExecutor(cfg.Workers, cfg.QueueDepth),
 		stats:    newStatsCore(),
 		slow:     newSlowLog(cfg.SlowLogSize),
-		subs:     &subCore{},
+		subs:     &subCore{live: make(map[uint64]*liveFeed)},
+		traces:   trace.NewStore(cfg.TraceRingSize),
 		shutdown: make(chan struct{}),
 	}
+}
+
+// Traces returns the completed-trace ring snapshot, newest first, plus the
+// lifetime count of captured traces.
+func (s *Service) Traces() ([]trace.Data, uint64) {
+	return s.traces.List(), s.traces.Total()
+}
+
+// TraceByID looks up one completed trace by its 32-hex-digit trace id.
+func (s *Service) TraceByID(id string) (trace.Data, bool) {
+	return s.traces.Get(id)
 }
 
 // Shutdown moves the service into draining mode: live subscriber feeds end
@@ -180,6 +201,10 @@ type Request struct {
 	// Explain requests a wall-clock-timed execution profile in the result
 	// (per-operator statistics, engine counters, rewrite trace, plan).
 	Explain bool
+	// Trace, when non-nil, adopts the caller's trace (e.g. continued from an
+	// incoming traceparent header) instead of the service-created one. The
+	// completed trace still lands in the GET /traces ring.
+	Trace *xqgo.Trace
 }
 
 // Result is a materialized query response.
@@ -193,6 +218,9 @@ type Result struct {
 	// Profile is the execution profile; non-nil only when Request.Explain
 	// was set.
 	Profile *ExplainProfile
+	// TraceID identifies the request's captured trace in GET /traces/{id}
+	// (empty when tracing is disabled).
+	TraceID string
 }
 
 // ExplainProfile is the JSON-ready execution profile attached to explain
@@ -265,23 +293,28 @@ func (l *limitWriter) Write(p []byte) (int, error) {
 // Query runs a request to completion and returns the materialized result.
 func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
 	var buf bytes.Buffer
-	cached, elapsed, prof, err := s.run(ctx, req, &buf)
-	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed, Profile: prof}, err
+	cached, elapsed, prof, traceID, err := s.run(ctx, req, &buf)
+	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed,
+		Profile: prof, TraceID: traceID}, err
 }
 
 // Execute streams the serialized result to w as it is produced (the
-// engine's time-to-first-answer path). The plan-cache flag is returned;
-// errors after the first byte reach the caller with the output truncated.
-// Request.Explain is ignored (a streamed body has no profile envelope).
-func (s *Service) Execute(ctx context.Context, req Request, w io.Writer) (bool, error) {
+// engine's time-to-first-answer path). The plan-cache flag and trace id are
+// returned; errors after the first byte reach the caller with the output
+// truncated. Request.Explain is ignored (a streamed body has no profile
+// envelope).
+func (s *Service) Execute(ctx context.Context, req Request, w io.Writer) (bool, string, error) {
 	req.Explain = false
-	cached, _, _, err := s.run(ctx, req, w)
-	return cached, err
+	cached, _, _, traceID, err := s.run(ctx, req, w)
+	return cached, traceID, err
 }
 
 // run is the shared request path: admission control, deadline, plan-cache
-// lookup, per-request context assembly, execution, stats, profiling.
-func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, eprof *ExplainProfile, err error) {
+// lookup, per-request context assembly, execution, stats, profiling,
+// tracing. The request's span tree — a "request" root over queue/plan/
+// build-context stages plus the engine's own execute subtree — is finished
+// into the trace ring whatever the outcome.
+func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, eprof *ExplainProfile, traceID string, err error) {
 	start := time.Now()
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -290,20 +323,47 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	tr := req.Trace
+	if tr == nil && !s.cfg.DisableTracing {
+		tr = xqgo.NewTrace()
+	}
+	var reqSpan *xqgo.TraceSpan
+	if tr != nil {
+		traceID = tr.ID()
+		reqSpan = tr.StartSpan("request", nil).SetAttr("route", "query")
+		if req.ContextDoc != "" {
+			reqSpan.SetAttr("doc", req.ContextDoc)
+		}
+	}
+
 	var q *xqgo.Query
 	var prof *xqgo.Profile
 	err = s.exec.Do(rctx, func() error {
+		if tr != nil {
+			// Admission wait: everything between arrival and worker pickup.
+			tr.AddSpan("queue", reqSpan, start, time.Now())
+		}
 		opts := s.cfg.Options
+		pstart := time.Now()
 		plan, fromCache, cerr := s.plans.Get(req.Query, &opts)
 		cached = fromCache
+		if tr != nil {
+			tr.AddSpan("plan", reqSpan, pstart, time.Now()).
+				SetAttr("cached", fromCache)
+		}
 		if cerr != nil {
 			return &BadRequestError{Err: cerr}
 		}
 		q = plan
+		bstart := time.Now()
 		qctx, berr := s.buildContext(req)
+		if tr != nil {
+			tr.AddSpan("build-context", reqSpan, bstart, time.Now())
+		}
 		if berr != nil {
 			return berr
 		}
+		qctx.WithTrace(tr)
 		// Explain requests pay for per-pull timing; otherwise a cheap
 		// counters-only profile feeds /metrics and the slow-query log.
 		switch {
@@ -326,7 +386,15 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 	})
 	elapsed = time.Since(start)
 	oc := classify(err)
-	s.stats.observe(oc, elapsed)
+	if tr != nil {
+		reqSpan.SetAttr("outcome", oc.String())
+		if err != nil {
+			reqSpan.SetAttr("error", err.Error())
+		}
+		reqSpan.End()
+		s.traces.Add(tr.Finish())
+	}
+	s.stats.observeTraced(oc, elapsed, traceID)
 	if prof != nil {
 		rep := prof.Report()
 		s.stats.addEngine(rep.Counters)
@@ -338,11 +406,11 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 			s.slow.add(SlowEntry{
 				Time: time.Now(), Query: req.Query, Doc: req.ContextDoc,
 				Micros: elapsed.Microseconds(), Outcome: oc.String(),
-				Cached: cached, Profile: ep,
+				Cached: cached, Profile: ep, TraceID: traceID,
 			})
 		}
 	}
-	return cached, elapsed, eprof, err
+	return cached, elapsed, eprof, traceID, err
 }
 
 func classify(err error) outcome {

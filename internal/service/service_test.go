@@ -371,7 +371,7 @@ func TestStatsPercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		st.observe(outcomeOK, time.Duration(i)*time.Millisecond)
 	}
-	p50, p90, p99 := st.percentiles()
+	p50, p90, p99, p999 := st.percentiles()
 	// Nearest-rank over 1..100ms is exact: ceil(p*100) milliseconds.
 	if p50 != 50*time.Millisecond {
 		t.Errorf("p50 = %v, want 50ms", p50)
@@ -381,5 +381,8 @@ func TestStatsPercentiles(t *testing.T) {
 	}
 	if p99 != 99*time.Millisecond {
 		t.Errorf("p99 = %v, want 99ms", p99)
+	}
+	if p999 != 100*time.Millisecond {
+		t.Errorf("p99.9 = %v, want 100ms", p999)
 	}
 }

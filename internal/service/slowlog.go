@@ -26,6 +26,9 @@ type SlowEntry struct {
 	Cached bool `json:"cached"`
 	// Profile is the execution profile, when profiling was enabled.
 	Profile *ExplainProfile `json:"profile,omitempty"`
+	// TraceID links the entry to its captured span tree in GET /traces/{id},
+	// letting a slow request be reconstructed stage by stage offline.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // slowLog is the mutex-guarded ring buffer behind GET /slow.

@@ -45,6 +45,30 @@ type engineTotals struct {
 	StreamBufferPeakBytes int64 `json:"streamBufferPeakBytes"`
 }
 
+// latSeries is one sliding latency window: the global one plus one per
+// route (query vs. subscribe). Guarded by the owning statsCore's mutex.
+type latSeries struct {
+	lat []time.Duration
+	pos int
+}
+
+func (l *latSeries) add(d time.Duration) {
+	if len(l.lat) < latWindow {
+		l.lat = append(l.lat, d)
+		return
+	}
+	l.lat[l.pos] = d
+	l.pos = (l.pos + 1) % latWindow
+}
+
+// exemplar links one histogram bucket to a recent trace that landed in it
+// (OpenMetrics exemplar exposition: a trace id, the observed value, and when).
+type exemplar struct {
+	traceID string
+	value   float64 // seconds
+	ts      time.Time
+}
+
 // statsCore accumulates request outcomes. Latencies cover the whole
 // service-level request — queue wait included — since that is what a
 // client observes. Alongside the percentile window it maintains fixed
@@ -56,11 +80,12 @@ type statsCore struct {
 	errors   uint64 // compile/eval/binding failures
 	rejected uint64 // admission-control rejections
 	timeouts uint64 // deadline exceeded / canceled
-	lat      []time.Duration
-	pos      int
+	lat      latSeries
+	routes   map[string]*latSeries // per-route windows ("query", "subscribe")
 	start    time.Time
 
-	hist     []uint64 // per-bucket counts; len(latBuckets)+1, last = +Inf
+	hist     []uint64   // per-bucket counts; len(latBuckets)+1, last = +Inf
+	exes     []exemplar // most recent traced observation per bucket
 	histSum  time.Duration
 	histCnt  uint64
 	engine   engineTotals
@@ -69,9 +94,10 @@ type statsCore struct {
 
 func newStatsCore() *statsCore {
 	return &statsCore{
-		lat:   make([]time.Duration, 0, latWindow),
-		hist:  make([]uint64, len(latBuckets)+1),
-		start: time.Now(),
+		routes: make(map[string]*latSeries),
+		hist:   make([]uint64, len(latBuckets)+1),
+		exes:   make([]exemplar, len(latBuckets)+1),
+		start:  time.Now(),
 	}
 }
 
@@ -110,6 +136,14 @@ func histBucket(d time.Duration) int {
 }
 
 func (s *statsCore) observe(o outcome, d time.Duration) {
+	s.observeTraced(o, d, "")
+}
+
+// observeTraced is observe with a trace-id exemplar: the request's latency
+// bucket remembers the most recent traced request that landed in it, giving
+// /metrics scrapes (OpenMetrics format) a direct link from a latency spike
+// to a reconstructable trace.
+func (s *statsCore) observeTraced(o outcome, d time.Duration, traceID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch o {
@@ -123,15 +157,42 @@ func (s *statsCore) observe(o outcome, d time.Duration) {
 	case outcomeTimeout:
 		s.timeouts++
 	}
-	if len(s.lat) < latWindow {
-		s.lat = append(s.lat, d)
-	} else {
-		s.lat[s.pos] = d
-		s.pos = (s.pos + 1) % latWindow
+	s.lat.add(d)
+	s.routeSeries("query").add(d)
+	b := histBucket(d)
+	s.hist[b]++
+	if traceID != "" {
+		s.exes[b] = exemplar{traceID: traceID, value: d.Seconds(), ts: time.Now()}
 	}
-	s.hist[histBucket(d)]++
 	s.histSum += d
 	s.histCnt++
+}
+
+// observeFeed records one subscriber feed's total duration under the
+// "subscribe" route window. Feeds stay out of the global request histogram —
+// they are long-lived by design and would drown the query latency signal.
+func (s *statsCore) observeFeed(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routeSeries("subscribe").add(d)
+}
+
+// routeSeries returns (creating on first use) the named route's window.
+// Callers hold s.mu.
+func (s *statsCore) routeSeries(route string) *latSeries {
+	ls := s.routes[route]
+	if ls == nil {
+		ls = &latSeries{}
+		s.routes[route] = ls
+	}
+	return ls
+}
+
+// exemplars snapshots the per-bucket exemplar table for OpenMetrics output.
+func (s *statsCore) exemplars() []exemplar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]exemplar(nil), s.exes...)
 }
 
 // addEngine folds one request's profile counters into the lifetime totals.
@@ -165,17 +226,34 @@ func (s *statsCore) histogram() (buckets []uint64, sum time.Duration, count uint
 	return append([]uint64(nil), s.hist...), s.histSum, s.histCnt
 }
 
-// percentiles returns p50, p90 and p99 over the window (0 when empty),
-// using the nearest-rank definition: the smallest value with at least
+// percentiles returns p50, p90, p99 and p99.9 over the global window (0 when
+// empty), using the nearest-rank definition: the smallest value with at least
 // ceil(p*n) observations at or below it. (The previous int(p*(n-1))
 // truncation biased every percentile toward p0 — e.g. p99 over 100 samples
 // picked the 98th-smallest instead of the 99th.)
-func (s *statsCore) percentiles() (p50, p90, p99 time.Duration) {
+func (s *statsCore) percentiles() (p50, p90, p99, p999 time.Duration) {
 	s.mu.Lock()
-	buf := append([]time.Duration(nil), s.lat...)
+	buf := append([]time.Duration(nil), s.lat.lat...)
 	s.mu.Unlock()
+	return rankPercentiles(buf)
+}
+
+// routePercentiles snapshots one route window's percentiles plus its sample
+// count (count 0 means the route has seen no traffic).
+func (s *statsCore) routePercentiles(route string) (p50, p90, p99, p999 time.Duration, count int) {
+	s.mu.Lock()
+	var buf []time.Duration
+	if ls := s.routes[route]; ls != nil {
+		buf = append(buf, ls.lat...)
+	}
+	s.mu.Unlock()
+	p50, p90, p99, p999 = rankPercentiles(buf)
+	return p50, p90, p99, p999, len(buf)
+}
+
+func rankPercentiles(buf []time.Duration) (p50, p90, p99, p999 time.Duration) {
 	if len(buf) == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 	idx := func(p float64) int {
@@ -188,7 +266,7 @@ func (s *statsCore) percentiles() (p50, p90, p99 time.Duration) {
 		}
 		return i
 	}
-	return buf[idx(0.50)], buf[idx(0.90)], buf[idx(0.99)]
+	return buf[idx(0.50)], buf[idx(0.90)], buf[idx(0.99)], buf[idx(0.999)]
 }
 
 // DocTotals aggregates the catalog accounting.
@@ -201,23 +279,36 @@ type DocTotals struct {
 // Snapshot is the service's stats surface: a plain struct that marshals to
 // expvar-style JSON on GET /stats.
 type Snapshot struct {
-	Served      uint64         `json:"served"`
-	Errors      uint64         `json:"errors"`
-	Rejected    uint64         `json:"rejected"`
-	Timeouts    uint64         `json:"timeouts"`
-	InFlight    int64          `json:"inFlight"`
-	Queued      int64          `json:"queued"`
-	P50Micros   int64          `json:"p50Micros"`
-	P90Micros   int64          `json:"p90Micros"`
-	P99Micros   int64          `json:"p99Micros"`
-	PlanCache   PlanCacheStats `json:"planCache"`
-	Documents   DocTotals      `json:"documents"`
-	UptimeSecs  float64        `json:"uptimeSecs"`
-	WorkerSlots int            `json:"workerSlots"`
-	Engine      engineTotals   `json:"engine"`
-	SlowQueries uint64         `json:"slowQueries"`
+	Served     uint64 `json:"served"`
+	Errors     uint64 `json:"errors"`
+	Rejected   uint64 `json:"rejected"`
+	Timeouts   uint64 `json:"timeouts"`
+	InFlight   int64  `json:"inFlight"`
+	Queued     int64  `json:"queued"`
+	P50Micros  int64  `json:"p50Micros"`
+	P90Micros  int64  `json:"p90Micros"`
+	P99Micros  int64  `json:"p99Micros"`
+	P999Micros int64  `json:"p999Micros"`
+	// Routes breaks latency down per route class: "query" (one-shot request
+	// latency, queue wait included) and "subscribe" (whole-feed lifetimes).
+	Routes      map[string]RouteLatency `json:"routes"`
+	PlanCache   PlanCacheStats          `json:"planCache"`
+	Documents   DocTotals               `json:"documents"`
+	UptimeSecs  float64                 `json:"uptimeSecs"`
+	WorkerSlots int                     `json:"workerSlots"`
+	Engine      engineTotals            `json:"engine"`
+	SlowQueries uint64                  `json:"slowQueries"`
 	// Subscriptions aggregates the pub/sub layer (POST /subscribe).
 	Subscriptions SubscriptionTotals `json:"subscriptions"`
+}
+
+// RouteLatency is one route class's sliding-window percentile breakdown.
+type RouteLatency struct {
+	Count      int   `json:"count"`
+	P50Micros  int64 `json:"p50Micros"`
+	P90Micros  int64 `json:"p90Micros"`
+	P99Micros  int64 `json:"p99Micros"`
+	P999Micros int64 `json:"p999Micros"`
 }
 
 // SubscriptionTotals is the pub/sub layer's lifetime accounting.
@@ -244,7 +335,18 @@ func (s *Service) Stats() Snapshot {
 	start := st.start
 	engine := st.engine
 	st.mu.Unlock()
-	p50, p90, p99 := st.percentiles()
+	p50, p90, p99, p999 := st.percentiles()
+	routes := make(map[string]RouteLatency, 2)
+	for _, route := range []string{"query", "subscribe"} {
+		r50, r90, r99, r999, n := st.routePercentiles(route)
+		routes[route] = RouteLatency{
+			Count:      n,
+			P50Micros:  r50.Microseconds(),
+			P90Micros:  r90.Microseconds(),
+			P99Micros:  r99.Microseconds(),
+			P999Micros: r999.Microseconds(),
+		}
+	}
 	docs, bytes, nodes := s.Catalog.Totals()
 	_, slowTotal := s.slow.snapshot()
 	return Snapshot{
@@ -257,6 +359,8 @@ func (s *Service) Stats() Snapshot {
 		P50Micros:   p50.Microseconds(),
 		P90Micros:   p90.Microseconds(),
 		P99Micros:   p99.Microseconds(),
+		P999Micros:  p999.Microseconds(),
+		Routes:      routes,
 		PlanCache:   s.plans.Stats(),
 		Documents:   DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
 		UptimeSecs:  time.Since(start).Seconds(),

@@ -14,7 +14,7 @@ func TestServiceStreamedBody(t *testing.T) {
 	s := newTestService(t, Config{})
 
 	var out strings.Builder
-	if _, err := s.Execute(context.Background(), Request{
+	if _, _, err := s.Execute(context.Background(), Request{
 		Query: `/bib/book[@year = "1994"]/title`,
 		Body:  strings.NewReader(bibXML),
 	}, &out); err != nil {
@@ -26,7 +26,7 @@ func TestServiceStreamedBody(t *testing.T) {
 
 	// The streamed document also resolves under the well-known URI.
 	out.Reset()
-	if _, err := s.Execute(context.Background(), Request{
+	if _, _, err := s.Execute(context.Background(), Request{
 		Query: `count(doc("` + StreamBodyURI + `")//book)`,
 		Body:  strings.NewReader(bibXML),
 	}, &out); err != nil {

@@ -27,12 +27,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"xqgo"
 )
 
-// subCore aggregates subscription accounting across the service lifetime.
+// subCore aggregates subscription accounting across the service lifetime and
+// tracks the feeds streaming right now (the GET /subscriptions registry).
 type subCore struct {
 	active     atomic.Int64 // subscriber feeds currently streaming
 	feeds      atomic.Int64 // lifetime subscriber feeds admitted
@@ -40,6 +44,107 @@ type subCore struct {
 	results    atomic.Int64 // result events delivered
 	fallbacks  atomic.Int64 // store-required subscriptions admitted
 	peakBuffer atomic.Int64 // high-water mark over all subscriptions' buffers
+
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]*liveFeed
+}
+
+// liveFeed is one in-flight subscriber connection in the live registry.
+// Immutable after registration; the per-handle gauges are read through
+// Subscription.Stats, which is safe while the feed runs.
+type liveFeed struct {
+	id      uint64
+	started time.Time
+	remote  string
+	traceID string
+	queries []string
+	handles []*xqgo.Subscription
+}
+
+func (c *subCore) register(f *liveFeed) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	f.id = c.nextID
+	if c.live == nil {
+		c.live = make(map[uint64]*liveFeed)
+	}
+	c.live[f.id] = f
+	return f.id
+}
+
+func (c *subCore) unregister(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.live, id)
+}
+
+// FeedStatus is one live subscriber feed on GET /subscriptions.
+type FeedStatus struct {
+	ID         uint64       `json:"id"`
+	Remote     string       `json:"remote,omitempty"`
+	TraceID    string       `json:"traceId,omitempty"`
+	UptimeSecs float64      `json:"uptimeSecs"`
+	Handles    []HandleInfo `json:"handles"`
+}
+
+// HandleInfo is one subscription's live gauges within a feed.
+type HandleInfo struct {
+	ID    int    `json:"id"`
+	Query string `json:"query"`
+	Class string `json:"class"`
+	// FellBack marks a store-required subscription (answers at feed end).
+	FellBack bool `json:"fellBack"`
+	// Windows opened so far by the spine automaton.
+	Windows int64 `json:"windows"`
+	// Results delivered so far.
+	Results int64 `json:"results"`
+	// PeakBufferBytes is the buffer high-water mark so far.
+	PeakBufferBytes int64 `json:"peakBufferBytes"`
+	// LastResultUnixNano is the wall clock of the most recent delivery
+	// (0 before the first).
+	LastResultUnixNano int64 `json:"lastResultUnixNano,omitempty"`
+	// LagSecs is seconds since the most recent delivery — the per-handle
+	// staleness gauge (absent before the first result).
+	LagSecs float64 `json:"lagSecs,omitempty"`
+}
+
+// Subscriptions snapshots every live subscriber feed with per-handle window,
+// result, buffer and lag gauges. Safe to call while feeds stream.
+func (s *Service) Subscriptions() []FeedStatus {
+	s.subs.mu.Lock()
+	feeds := make([]*liveFeed, 0, len(s.subs.live))
+	for _, f := range s.subs.live {
+		feeds = append(feeds, f)
+	}
+	s.subs.mu.Unlock()
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].id < feeds[j].id })
+
+	now := time.Now()
+	out := make([]FeedStatus, 0, len(feeds))
+	for _, f := range feeds {
+		fs := FeedStatus{
+			ID: f.id, Remote: f.remote, TraceID: f.traceID,
+			UptimeSecs: now.Sub(f.started).Seconds(),
+			Handles:    make([]HandleInfo, 0, len(f.handles)),
+		}
+		for i, h := range f.handles {
+			st := h.Stats()
+			hi := HandleInfo{
+				ID: i, Query: f.queries[i], Class: st.Class, FellBack: st.FellBack,
+				Windows: st.Windows, Results: st.Results,
+				PeakBufferBytes:    st.PeakBufferBytes,
+				LastResultUnixNano: st.LastResultUnixNano,
+			}
+			if st.LastResultUnixNano > 0 {
+				hi.LagSecs = now.Sub(time.Unix(0, st.LastResultUnixNano)).Seconds()
+			}
+			fs.Handles = append(fs.Handles, hi)
+		}
+		out = append(out, fs)
+	}
+	return out
 }
 
 func (c *subCore) notePeak(v int64) {
@@ -50,6 +155,10 @@ func (c *subCore) notePeak(v int64) {
 		}
 	}
 }
+
+// maxSSESpans caps per-delivery "sse:result" spans recorded on a feed's
+// trace, so a long feed cannot exhaust the span budget.
+const maxSSESpans = 32
 
 // subInfo is one entry of the "subscribed" event.
 type subInfo struct {
@@ -147,8 +256,14 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.DisableProfiling {
 		prof = plans[0].NewCountersProfile()
 	}
+	tr := requestTrace(r, s.cfg.DisableTracing)
+	var traceID string
+	if tr != nil {
+		traceID = tr.ID()
+	}
+	feedStart := time.Now()
 	flusher, _ := w.(http.Flusher)
-	sub := xqgo.NewSubscriber().WithProfile(prof)
+	sub := xqgo.NewSubscriber().WithProfile(prof).WithTrace(tr)
 
 	infos := make([]subInfo, len(plans))
 	handles := make([]*xqgo.Subscription, len(plans))
@@ -162,7 +277,13 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return err
 			}
-			return sseEvent(w, flusher, "result", data)
+			wstart := time.Now()
+			werr := sseEvent(w, flusher, "result", data)
+			if tr != nil && seq <= maxSSESpans {
+				tr.AddSpan("sse:result", nil, wstart, time.Now()).
+					SetAttr("sub", i).SetAttr("seq", seq).SetAttr("bytes", len(data))
+			}
+			return werr
 		})
 		class, reason := plan.Streamability()
 		infos[i] = subInfo{ID: i, Query: queries[i], Class: class.String(), Reason: reason}
@@ -179,6 +300,7 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
+	traceHeaders(w, tr)
 	w.WriteHeader(http.StatusOK)
 	if data, err := json.Marshal(infos); err == nil {
 		if sseEvent(w, flusher, "subscribed", data) != nil {
@@ -186,7 +308,17 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The feed is now live: expose it to GET /subscriptions until it ends.
+	feedID := s.subs.register(&liveFeed{
+		started: feedStart, remote: r.RemoteAddr, traceID: traceID,
+		queries: queries, handles: handles,
+	})
 	runErr := sub.Run(ctx, &cancelReader{ctx: ctx, r: r.Body}, StreamBodyURI)
+	s.subs.unregister(feedID)
+	s.stats.observeFeed(time.Since(feedStart))
+	if tr != nil {
+		s.traces.Add(tr.Finish())
+	}
 
 	for i, h := range handles {
 		s.subs.notePeak(h.Stats().PeakBufferBytes)

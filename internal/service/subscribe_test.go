@@ -309,7 +309,7 @@ func TestSubscribeShutdown(t *testing.T) {
 func TestServiceStreamModeRequest(t *testing.T) {
 	s := New(Config{})
 	var out strings.Builder
-	if _, err := s.Execute(context.Background(), Request{
+	if _, _, err := s.Execute(context.Background(), Request{
 		Query:      `/bib/book/title`,
 		Body:       strings.NewReader(bibXML),
 		StreamMode: true,
@@ -329,7 +329,7 @@ func TestServiceStreamModeRequest(t *testing.T) {
 
 	// A store-required query under StreamMode falls back transparently.
 	out.Reset()
-	if _, err := s.Execute(context.Background(), Request{
+	if _, _, err := s.Execute(context.Background(), Request{
 		Query:      `count(/bib/book)`,
 		Body:       strings.NewReader(bibXML),
 		StreamMode: true,

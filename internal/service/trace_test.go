@@ -1,0 +1,556 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqgo/internal/trace"
+)
+
+// The paper's running example (ICDE 2004 §2): a bounded-buffer streamable
+// FLWOR that also fires optimizer rewrites — every span family the tracer
+// knows shows up in one request.
+const traceOrdersQuery = `for $line in /Order/OrderLine
+where $line/SellersID eq "1"
+return <lineItem>{fn:string($line/Item/ID)}</lineItem>`
+
+func traceOrdersXML(lines int) string {
+	var b strings.Builder
+	b.WriteString("<Order>")
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, "<OrderLine><SellersID>%d</SellersID><Item><ID>L%d</ID></Item></OrderLine>", i%3+1, i)
+	}
+	b.WriteString("</Order>")
+	return b.String()
+}
+
+// spanTree indexes a trace.Data for structural assertions.
+type spanTree struct {
+	data    trace.Data
+	byID    map[string]trace.SpanData
+	byName  map[string][]trace.SpanData
+	rootIDs []string
+}
+
+func newSpanTree(t *testing.T, d trace.Data) *spanTree {
+	t.Helper()
+	st := &spanTree{data: d, byID: map[string]trace.SpanData{}, byName: map[string][]trace.SpanData{}}
+	for _, s := range d.Spans {
+		if _, dup := st.byID[s.ID]; dup {
+			t.Errorf("duplicate span id %s", s.ID)
+		}
+		st.byID[s.ID] = s
+		st.byName[s.Name] = append(st.byName[s.Name], s)
+	}
+	// Well-formed tree: every parent is another retained span, the remote
+	// parent, or absent; exactly one local root.
+	for _, s := range d.Spans {
+		switch {
+		case s.Parent == "", s.Parent == d.Remote:
+			st.rootIDs = append(st.rootIDs, s.ID)
+		default:
+			if _, ok := st.byID[s.Parent]; !ok {
+				t.Errorf("span %s (%s): parent %s not in trace", s.ID, s.Name, s.Parent)
+			}
+		}
+	}
+	if len(st.rootIDs) != 1 {
+		t.Errorf("trace has %d roots, want 1", len(st.rootIDs))
+	}
+	if d.Root != "" && len(st.rootIDs) == 1 && st.rootIDs[0] != d.Root {
+		t.Errorf("root = %s, declared %s", st.rootIDs[0], d.Root)
+	}
+	return st
+}
+
+func (st *spanTree) one(t *testing.T, name string) trace.SpanData {
+	t.Helper()
+	spans := st.byName[name]
+	if len(spans) == 0 {
+		t.Fatalf("trace has no %q span (have %v)", name, names(st.data))
+	}
+	return spans[0]
+}
+
+func names(d trace.Data) []string {
+	out := make([]string, len(d.Spans))
+	for i, s := range d.Spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestSlowTraceReconstruction is the acceptance path end to end: a slow
+// stream-mode request's /slow entry links a trace id whose GET /traces/{id}
+// span tree reconstructs every stage offline — queue, plan, rewrite,
+// projection, ingestion, per-operator rows with observed vs. estimated
+// cardinality, and the streaming evaluator's live window spans.
+func TestSlowTraceReconstruction(t *testing.T) {
+	s := New(Config{SlowQueryThreshold: time.Nanosecond})
+	h := NewHTTPHandler(s)
+
+	req := httptest.NewRequest("POST",
+		"/query?query="+url.QueryEscape(traceOrdersQuery),
+		strings.NewReader(traceOrdersXML(12)))
+	req.Header.Set("Content-Type", "application/xml")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream query = %d: %s", rec.Code, rec.Body)
+	}
+	if got := strings.Count(rec.Body.String(), "<lineItem>"); got != 4 {
+		t.Fatalf("result has %d lineItems, want 4: %s", got, rec.Body)
+	}
+	headerID := rec.Header().Get("X-Trace-Id")
+	if len(headerID) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex digits", headerID)
+	}
+	if tp := rec.Header().Get("Traceparent"); !strings.Contains(tp, headerID) {
+		t.Errorf("Traceparent %q does not carry trace id %s", tp, headerID)
+	}
+
+	// The slow log links the same trace id.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+	var slow slowLogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Entries) == 0 {
+		t.Fatal("slow log is empty despite 1ns threshold")
+	}
+	if slow.Entries[0].TraceID != headerID {
+		t.Fatalf("slow entry trace id %q != response header %q", slow.Entries[0].TraceID, headerID)
+	}
+
+	// The linked trace reconstructs the request stage by stage.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/"+headerID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /traces/%s = %d: %s", headerID, rec.Code, rec.Body)
+	}
+	var d trace.Data
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.TraceID != headerID {
+		t.Fatalf("trace id %q != %q", d.TraceID, headerID)
+	}
+	st := newSpanTree(t, d)
+
+	root := st.one(t, "request")
+	if root.Attrs["route"] != "query" || root.Attrs["outcome"] != "ok" {
+		t.Errorf("request span attrs = %v", root.Attrs)
+	}
+	st.one(t, "queue")
+	st.one(t, "plan")
+	st.one(t, "build-context")
+	exec := st.one(t, "execute")
+	if exec.Parent != root.ID {
+		t.Errorf("execute parent = %s, want request %s", exec.Parent, root.ID)
+	}
+
+	opt := st.one(t, "optimize")
+	if opt.Attrs["ruleFires"] == nil {
+		t.Error("optimize span has no ruleFires")
+	}
+	foundRewrite := false
+	for name := range st.byName {
+		if strings.HasPrefix(name, "rewrite:") {
+			foundRewrite = true
+		}
+	}
+	if !foundRewrite {
+		t.Errorf("no rewrite: spans (have %v)", names(d))
+	}
+
+	proj := st.one(t, "projection")
+	if proj.Attrs["projectable"] == nil {
+		t.Error("projection span has no projectable attr")
+	}
+	ing := st.one(t, "ingest")
+	if v, ok := ing.Attrs["xmlTokens"].(float64); !ok || v <= 0 {
+		t.Errorf("ingest xmlTokens = %v, want > 0", ing.Attrs["xmlTokens"])
+	}
+
+	// Per-operator spans carry observed vs. estimated cardinality.
+	ops := 0
+	for name, spans := range st.byName {
+		if !strings.HasPrefix(name, "op:") {
+			continue
+		}
+		ops++
+		for _, sp := range spans {
+			if _, ok := sp.Attrs["items"]; !ok {
+				t.Errorf("%s has no observed items attr", name)
+			}
+			if _, ok := sp.Attrs["estItems"]; !ok {
+				t.Errorf("%s has no estimated items attr", name)
+			}
+		}
+	}
+	if ops < 3 {
+		t.Errorf("trace has %d op: spans, want >= 3", ops)
+	}
+
+	// The streaming evaluator recorded live window spans (one per matching
+	// OrderLine window), each under the execute span.
+	windows := st.byName["window"]
+	if len(windows) == 0 {
+		t.Fatalf("no window spans (have %v)", names(d))
+	}
+	for _, wsp := range windows {
+		if wsp.Parent != exec.ID {
+			t.Errorf("window parent = %s, want execute %s", wsp.Parent, exec.ID)
+		}
+	}
+	ws := st.one(t, "windows-summary")
+	if v, ok := ws.Attrs["windows"].(float64); !ok || int(v) != len(windows) {
+		t.Errorf("windows-summary windows = %v, live window spans = %d", ws.Attrs["windows"], len(windows))
+	}
+
+	// And the trace list sees it too.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	var list tracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total == 0 || len(list.Traces) == 0 {
+		t.Errorf("GET /traces = total %d, %d traces", list.Total, len(list.Traces))
+	}
+}
+
+// TestTraceparentAdoption: an incoming W3C traceparent header continues the
+// caller's trace id; malformed ones fall back to a fresh id; unknown trace
+// lookups 404.
+func TestTraceparentAdoption(t *testing.T) {
+	s := New(Config{})
+	h := NewHTTPHandler(s)
+
+	const upstream = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	body := `{"query":"1+1"}`
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+	req.Header.Set("traceparent", upstream)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body)
+	}
+	if id := rec.Header().Get("X-Trace-Id"); id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("adopted trace id = %q", id)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("response traceId = %q", qr.TraceID)
+	}
+
+	// The stored trace records the remote parent span.
+	d, ok := s.TraceByID(qr.TraceID)
+	if !ok {
+		t.Fatal("adopted trace not in ring")
+	}
+	if d.Remote != "00f067aa0ba902b7" {
+		t.Errorf("remote parent = %q", d.Remote)
+	}
+
+	// Malformed header: fresh id, request still served.
+	req = httptest.NewRequest("POST", "/query", strings.NewReader(body))
+	req.Header.Set("traceparent", "ff-bogus")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query with bad traceparent = %d", rec.Code)
+	}
+	if id := rec.Header().Get("X-Trace-Id"); len(id) != 32 || id == qr.TraceID {
+		t.Errorf("fallback trace id = %q", id)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces/doesnotexist", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", rec.Code)
+	}
+}
+
+// TestTracingDisabled: with DisableTracing no ids are minted — but an
+// explicit upstream traceparent is still honored.
+func TestTracingDisabled(t *testing.T) {
+	s := New(Config{DisableTracing: true})
+	h := NewHTTPHandler(s)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/query", strings.NewReader(`{"query":"1+1"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d", rec.Code)
+	}
+	if id := rec.Header().Get("X-Trace-Id"); id != "" {
+		t.Errorf("X-Trace-Id = %q with tracing disabled", id)
+	}
+	if traces, total := s.Traces(); total != 0 || len(traces) != 0 {
+		t.Errorf("trace ring has %d entries with tracing disabled", total)
+	}
+
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(`{"query":"1+1"}`))
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if id := rec.Header().Get("X-Trace-Id"); id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("upstream traceparent ignored under DisableTracing: %q", id)
+	}
+}
+
+// TestSubscriptionsLiveIntrospection runs a real SSE feed against a real
+// listener and polls GET /subscriptions while windows stream through it:
+// the per-handle gauges (windows, results, buffer, lag, uptime) must be
+// visible mid-feed and disappear once the feed ends.
+func TestSubscriptionsLiveIntrospection(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewHTTPHandler(s))
+	defer srv.Close()
+
+	pr, pw := io.Pipe()
+	subURL := srv.URL + "/subscribe?query=" + url.QueryEscape(traceOrdersQuery) +
+		"&query=" + url.QueryEscape("count(/Order/OrderLine)")
+	req, err := http.NewRequest("POST", subURL, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe = %d", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Trace-Id"); len(id) != 32 {
+		t.Errorf("subscribe X-Trace-Id = %q", id)
+	}
+
+	// Drain SSE frames on a helper goroutine, signaling each result event.
+	results := make(chan string, 64)
+	go func() {
+		defer close(results)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				results <- data
+			}
+		}
+	}()
+	if _, ok := <-results; !ok { // "subscribed" event
+		t.Fatal("feed closed before subscribed event")
+	}
+
+	// Stream two matching windows, then hold the feed open and introspect.
+	if _, err := io.WriteString(pw, "<Order><OrderLine><SellersID>1</SellersID><Item><ID>A</ID></Item></OrderLine><OrderLine><SellersID>1</SellersID><Item><ID>B</ID></Item></OrderLine>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-results:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for streamed results")
+		}
+	}
+
+	feeds := s.Subscriptions()
+	if len(feeds) != 1 {
+		t.Fatalf("live feeds = %d, want 1", len(feeds))
+	}
+	f := feeds[0]
+	if f.UptimeSecs <= 0 || len(f.TraceID) != 32 || f.Remote == "" {
+		t.Errorf("feed = %+v", f)
+	}
+	if len(f.Handles) != 2 {
+		t.Fatalf("handles = %d, want 2", len(f.Handles))
+	}
+	h0 := f.Handles[0]
+	if h0.Class != "bounded-buffers" || h0.Windows < 2 || h0.Results != 2 {
+		t.Errorf("streamable handle = %+v", h0)
+	}
+	if h0.PeakBufferBytes == 0 {
+		t.Errorf("bounded-buffer handle shows no peak buffer: %+v", h0)
+	}
+	if h0.LastResultUnixNano == 0 || h0.LagSecs < 0 {
+		t.Errorf("lag gauges = %+v", h0)
+	}
+	h1 := f.Handles[1]
+	if h1.Class != "store-required" || !h1.FellBack || h1.Results != 0 {
+		t.Errorf("fallback handle mid-feed = %+v", h1)
+	}
+
+	// The HTTP surface serves the same snapshot.
+	var sr subscriptionsResponse
+	hres, err := http.Get(srv.URL + "/subscriptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if sr.Active != 1 || len(sr.Feeds) != 1 || len(sr.Feeds[0].Handles) != 2 {
+		t.Errorf("GET /subscriptions = %+v", sr)
+	}
+
+	// Feed end: registry empties, the fallback answers, the trace lands in
+	// the ring with the feed span.
+	if _, err := io.WriteString(pw, "</Order>"); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	for range results {
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Subscriptions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("feed still registered after end")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d, ok := s.TraceByID(f.TraceID)
+	if !ok {
+		t.Fatal("feed trace not stored")
+	}
+	st := newSpanTree(t, d)
+	feed := st.one(t, "feed")
+	if feed.Attrs["subscriptions"] == nil {
+		t.Errorf("feed span attrs = %v", feed.Attrs)
+	}
+	if len(st.byName["window"]) == 0 {
+		t.Errorf("feed trace has no window spans: %v", names(d))
+	}
+	if len(st.byName["sse:result"]) == 0 {
+		t.Errorf("feed trace has no sse:result spans: %v", names(d))
+	}
+}
+
+// TestHealthzReadiness: 200 JSON while serving, 503 when the admission
+// queue is full, 503 once shutting down.
+func TestHealthzReadiness(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: -1}) // negative = zero queue slots
+	h := NewHTTPHandler(s)
+
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code != wantCode {
+			t.Errorf("healthz = %d, want %d (%s)", rec.Code, wantCode, rec.Body)
+		}
+		var hs Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &hs); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		if hs.Status != wantStatus {
+			t.Errorf("healthz status = %q, want %q", hs.Status, wantStatus)
+		}
+	}
+
+	check(http.StatusOK, "ok")
+
+	// Saturate the single worker slot.
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.exec.Do(context.Background(), func() error {
+			close(entered)
+			<-block
+			return nil
+		})
+	}()
+	<-entered
+	check(http.StatusServiceUnavailable, "saturated")
+	close(block)
+	wg.Wait()
+	check(http.StatusOK, "ok")
+
+	s.Shutdown()
+	check(http.StatusServiceUnavailable, "shutting-down")
+}
+
+// TestOpenMetricsExemplars: the Accept-negotiated OpenMetrics exposition
+// carries trace-id exemplars on the latency histogram and the terminal
+// # EOF; the default 0.0.4 exposition carries neither but gains the
+// build-info gauge and trace counters.
+func TestOpenMetricsExemplars(t *testing.T) {
+	s := New(Config{})
+	h := NewHTTPHandler(s)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/query", strings.NewReader(`{"query":"1+1"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d", rec.Code)
+	}
+	traceID := rec.Header().Get("X-Trace-Id")
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Errorf("OpenMetrics body does not end with # EOF")
+	}
+	want := fmt.Sprintf("# {trace_id=%q}", traceID)
+	if !strings.Contains(body, want) {
+		t.Errorf("OpenMetrics body has no exemplar %s", want)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body = rec.Body.String()
+	if strings.Contains(body, "trace_id=") || strings.Contains(body, "# EOF") {
+		t.Error("default exposition leaked OpenMetrics syntax")
+	}
+	for _, wantLine := range []string{"xqgo_build_info{", "xqd_traces_total 1"} {
+		if !strings.Contains(body, wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+	validatePromText(t, body)
+}
+
+// TestStatsRoutes: /stats breaks latency down per route with p99.9.
+func TestStatsRoutes(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Query(context.Background(), Request{Query: "1+1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.stats.observeFeed(80 * time.Millisecond)
+
+	snap := s.Stats()
+	q := snap.Routes["query"]
+	if q.Count != 1 || q.P999Micros < q.P50Micros {
+		t.Errorf("query route = %+v", q)
+	}
+	sub := snap.Routes["subscribe"]
+	if sub.Count != 1 || sub.P50Micros != 80_000 {
+		t.Errorf("subscribe route = %+v", sub)
+	}
+	if snap.P999Micros < snap.P99Micros {
+		t.Errorf("p99.9 %d < p99 %d", snap.P999Micros, snap.P99Micros)
+	}
+}

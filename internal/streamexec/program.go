@@ -88,10 +88,13 @@ func Compile(q *expr.Query, ro runtime.Options) *Program {
 			rq.Vars = append(rq.Vars, v) // externals pass through via Env.Vars
 		}
 	}
+	// The residual keeps its profile hooks: unprofiled windows pay one nil
+	// check per operator instantiation, while profiled stream runs get real
+	// per-operator rows (counted under a residual-sized profile — see
+	// Runner.finishProfile — because operator ids are plan-specific).
 	res, err := runtime.Compile(rq, runtime.Options{
-		Eager:          ro.Eager,
-		NoBatch:        ro.NoBatch,
-		NoProfileHooks: true,
+		Eager:   ro.Eager,
+		NoBatch: ro.NoBatch,
 	})
 	if err != nil {
 		return &Program{class: StoreRequired, reason: "residual compile: " + err.Error()}
@@ -99,6 +102,16 @@ func Compile(q *expr.Query, ro runtime.Options) *Program {
 	prog.class = BoundedBuffer
 	prog.residual = res
 	return prog
+}
+
+// ResidualProfile creates a counters profile sized for the residual plan's
+// operators, or nil for identity plans (no residual to profile). Runners use
+// it so residual executions never index a profile sized for a different plan.
+func (p *Program) ResidualProfile() *runtime.Profile {
+	if p.residual == nil {
+		return nil
+	}
+	return p.residual.NewProfile(false)
 }
 
 // classify rejects prolog features the streaming evaluator does not model.

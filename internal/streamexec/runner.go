@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"xqgo/internal/runtime"
 	"xqgo/internal/store"
 	"xqgo/internal/tokens"
+	"xqgo/internal/trace"
 	"xqgo/internal/xdm"
 )
 
@@ -24,7 +27,16 @@ type Stats struct {
 	PeakBufferBytes int64 `json:"peakBufferBytes"`
 	// OutputTokens serialized.
 	OutputTokens int64 `json:"outputTokens"`
+	// LastResultUnixNano is the wall clock of the most recent result
+	// delivery (0 before the first): the /subscriptions lag gauge.
+	LastResultUnixNano int64 `json:"lastResultUnixNano,omitempty"`
 }
+
+// maxWindowSpans bounds how many windows of one execution get individual
+// trace spans: a long-lived feed opens unbounded windows, and exhausting the
+// trace's span budget on them would crowd out the operator and summary spans
+// synthesized at the end. Totals are always exact via the profile counters.
+const maxWindowSpans = 64
 
 // openWindow is one in-flight window of the nested (descendant-spine)
 // identity mode.
@@ -33,6 +45,7 @@ type openWindow struct {
 	depth int   // element depth of the window root
 	buf   []tokens.Token
 	bytes int64
+	span  *trace.Span // nil past maxWindowSpans or without a trace
 }
 
 // Runner drives one streamable Program against a live decoder token stream.
@@ -46,10 +59,13 @@ type Runner struct {
 	endResult func() error // result boundary; nil in shared-writer mode
 
 	// dyn is the reused per-window dynamic context of the residual plan
-	// (stable current-dateTime across windows, same interrupt hook and
-	// profile as the enclosing execution).
+	// (stable current-dateTime across windows, same interrupt hook as the
+	// enclosing execution). When the execution is profiled, dyn carries
+	// rprof — a profile sized for the residual plan — never env.Prof, whose
+	// operator slots belong to the enclosing plan.
 	dyn   *runtime.Dynamic
-	names *store.NamePool // shared across window mini-stores
+	rprof *runtime.Profile // residual-plan profile; folded back in Finish
+	names *store.NamePool  // shared across window mini-stores
 
 	// Spine NFA (single path): flat state-set stack, one mark per element
 	// the automaton descended into. States are spine step indices.
@@ -75,14 +91,24 @@ type Runner struct {
 	outPend  int64 // output tokens not yet flushed to the profile
 	curBytes int64
 
-	stats Stats
+	wSpan      *trace.Span // child-only mode: the current window's span
+	spansTaken int         // window spans created so far (maxWindowSpans cap)
+
+	// Lifetime totals. Atomic because Stats() may be read live from another
+	// goroutine (the /subscriptions introspection endpoint) while the feed
+	// goroutine writes; the runner itself remains single-writer.
+	windows      atomic.Int64
+	results      atomic.Int64
+	peakBuffer   atomic.Int64
+	outputTokens atomic.Int64
+	lastResult   atomic.Int64
 }
 
 func newRunner(p *Program, env Env) *Runner {
 	if !p.Streamable() {
 		panic("streamexec: program is not streamable")
 	}
-	return &Runner{
+	r := &Runner{
 		prog:   p,
 		env:    env,
 		names:  store.NewNamePool(),
@@ -92,9 +118,13 @@ func newRunner(p *Program, env Env) *Runner {
 			Vars:      env.Vars,
 			Now:       env.Now,
 			Interrupt: env.Interrupt,
-			Prof:      env.Prof,
 		},
 	}
+	if env.Prof != nil {
+		r.rprof = p.ResidualProfile()
+		r.dyn.Prof = r.rprof
+	}
+	return r
 }
 
 // NewWriterRunner creates a runner serializing all results into one shared
@@ -135,8 +165,29 @@ func (rs *resultSink) finish() error {
 	return rs.deliver(out)
 }
 
-// Stats returns the runner's totals so far.
-func (r *Runner) Stats() Stats { return r.stats }
+// Stats returns the runner's totals so far. Safe to call from any goroutine
+// while the runner is live (the subscription introspection endpoint polls it
+// mid-feed).
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Windows:            r.windows.Load(),
+		Results:            r.results.Load(),
+		PeakBufferBytes:    r.peakBuffer.Load(),
+		OutputTokens:       r.outputTokens.Load(),
+		LastResultUnixNano: r.lastResult.Load(),
+	}
+}
+
+// windowSpan opens a live trace span for one window, if the execution is
+// traced and the per-execution span budget allows.
+func (r *Runner) windowSpan() *trace.Span {
+	if r.env.Trace == nil || r.spansTaken >= maxWindowSpans {
+		return nil
+	}
+	r.spansTaken++
+	return r.env.Trace.StartSpan("window", r.env.TraceSpan).
+		SetAttr("seq", r.windows.Load())
+}
 
 // interruptStride matches the store engine's polling granularity.
 const interruptStride = 256
@@ -175,7 +226,35 @@ func (r *Runner) Finish() error {
 		return fmt.Errorf("streamexec: input ended inside a window")
 	}
 	r.flushCounters()
+	r.finishProfile()
 	return nil
+}
+
+// finishProfile folds the residual plan's profile back into the enclosing
+// execution's: engine counters merge into env.Prof, and when a trace is
+// attached the residual's operator rows become op: spans under the execute
+// span — the same per-operator cardinality view (observed items/starts vs.
+// the static estimate) a store execution gets from post-run synthesis.
+func (r *Runner) finishProfile() {
+	if r.rprof == nil {
+		return
+	}
+	rep := r.rprof.Report()
+	r.rprof = nil
+	r.env.Prof.Merge(rep.Counters)
+	if r.env.Trace == nil {
+		return
+	}
+	now := time.Now()
+	for _, op := range rep.Operators {
+		r.env.Trace.AddSpan("op:"+op.Kind, r.env.TraceSpan, now, now,
+			trace.Attr{Key: "detail", Value: op.Detail},
+			trace.Attr{Key: "line", Value: op.Line},
+			trace.Attr{Key: "col", Value: op.Col},
+			trace.Attr{Key: "starts", Value: op.Starts},
+			trace.Attr{Key: "items", Value: op.Items},
+			trace.Attr{Key: "estItems", Value: op.EstItems})
+	}
 }
 
 func (r *Runner) flushCounters() {
@@ -210,7 +289,7 @@ func (r *Runner) startElement(t xml.StartElement) error {
 	r.depth++
 	if r.nfaStart(t.Name.Space, t.Name.Local) {
 		r.noteWindow()
-		r.open = append(r.open, openWindow{seq: r.seq, depth: r.depth})
+		r.open = append(r.open, openWindow{seq: r.seq, depth: r.depth, span: r.windowSpan()})
 		r.seq++
 	}
 	if len(r.open) > 0 {
@@ -329,6 +408,7 @@ func (r *Runner) flushWS() error {
 
 func (r *Runner) openChildWindow(t xml.StartElement) error {
 	r.noteWindow()
+	r.wSpan = r.windowSpan()
 	if r.prog.residual == nil {
 		// Fully streamable: tokens go straight out.
 		return r.interiorStart(t)
@@ -390,6 +470,8 @@ func (r *Runner) closeChildWindow() error {
 		if err := r.emitTok(tokens.Token{Kind: tokens.KindEndElement}); err != nil {
 			return err
 		}
+		r.wSpan.End()
+		r.wSpan = nil
 		return r.finishResult()
 	}
 	r.bld.EndElement()
@@ -399,6 +481,8 @@ func (r *Runner) closeChildWindow() error {
 		return err
 	}
 	err = r.evalWindow(doc)
+	r.wSpan.SetAttr("bufferBytes", r.curBytes).End()
+	r.wSpan = nil
 	r.curBytes = 0
 	r.flushCounters()
 	return err
@@ -461,6 +545,7 @@ func (r *Runner) closeNestedWindow() error {
 	n := len(r.open) - 1
 	w := r.open[n]
 	r.open = r.open[:n]
+	w.span.SetAttr("bufferBytes", w.bytes).End()
 	if n > 0 {
 		// An inner window completed: deliverable only after the outermost
 		// closes (its direct stream is still in progress).
@@ -492,12 +577,13 @@ func (r *Runner) closeNestedWindow() error {
 // ---- accounting ----
 
 func (r *Runner) noteWindow() {
-	r.stats.Windows++
+	r.windows.Add(1)
 	r.env.Prof.AddStreamWindows(1)
 }
 
 func (r *Runner) finishResult() error {
-	r.stats.Results++
+	r.results.Add(1)
+	r.lastResult.Store(time.Now().UnixNano())
 	r.env.Prof.AddStreamResults(1)
 	if r.endResult != nil {
 		return r.endResult()
@@ -506,18 +592,18 @@ func (r *Runner) finishResult() error {
 }
 
 func (r *Runner) emitTok(t tokens.Token) error {
-	r.stats.OutputTokens++
+	r.outputTokens.Add(1)
 	r.outPend++
 	return r.emit(t)
 }
 
 // addBuf grows the live buffer estimate and maintains the high-water mark
 // (published to the profile as it rises, so /metrics stays current during
-// long feeds).
+// long feeds). The runner is the only writer, so Load+Store suffices.
 func (r *Runner) addBuf(n int64) {
 	r.curBytes += n
-	if r.curBytes > r.stats.PeakBufferBytes {
-		r.stats.PeakBufferBytes = r.curBytes
+	if r.curBytes > r.peakBuffer.Load() {
+		r.peakBuffer.Store(r.curBytes)
 		r.env.Prof.NoteStreamBufferPeak(r.curBytes)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"xqgo/internal/runtime"
+	"xqgo/internal/trace"
 	"xqgo/internal/xdm"
 )
 
@@ -58,6 +59,11 @@ type Env struct {
 	Interrupt func() error
 	Now       time.Time
 	Prof      *runtime.Profile
+	// Trace, when non-nil, collects window open/close spans (under TraceSpan
+	// when set). Only the first few windows get individual spans (see
+	// maxWindowSpans) — totals always come from the profile counters.
+	Trace     *trace.Trace
+	TraceSpan *trace.Span
 	// StripWhitespace mirrors the ingestion option of the same name so the
 	// streamed view of the document matches what the store engine would have
 	// materialized (whitespace-only text between elements dropped).

@@ -1,0 +1,91 @@
+package trace
+
+import "sync"
+
+// DefaultStoreSize is the default capacity of the completed-trace ring.
+const DefaultStoreSize = 256
+
+// Store is a fixed-capacity ring of completed traces. Adding past capacity
+// evicts the oldest; lookups by id scan the ring (capacity is small and
+// lookups are operator-driven, so a map is not worth the bookkeeping).
+type Store struct {
+	mu    sync.Mutex
+	ring  []Data
+	pos   int
+	n     int
+	total uint64
+}
+
+// NewStore creates a store retaining the most recent size traces
+// (DefaultStoreSize when size <= 0).
+func NewStore(size int) *Store {
+	if size <= 0 {
+		size = DefaultStoreSize
+	}
+	return &Store{ring: make([]Data, size)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (s *Store) Add(d Data) {
+	if s == nil || d.TraceID == "" {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.pos] = d
+	s.pos = (s.pos + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Get returns the trace with the given id, if it is still in the ring.
+func (s *Store) Get(id string) (Data, bool) {
+	if s == nil {
+		return Data{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.n; i++ {
+		d := s.ring[(s.pos-1-i+len(s.ring))%len(s.ring)]
+		if d.TraceID == id {
+			return d, true
+		}
+	}
+	return Data{}, false
+}
+
+// List returns retained traces, newest first.
+func (s *Store) List() []Data {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Data, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(s.pos-1-i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+// Total returns the number of traces ever added (including evicted ones).
+func (s *Store) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Len returns the number of traces currently retained.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		tid, sid := newTraceID(), newSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("zero id generated")
+		}
+		ts, ss := tid.String(), sid.String()
+		if len(ts) != 32 || len(ss) != 16 {
+			t.Fatalf("bad id lengths: %q %q", ts, ss)
+		}
+		if seen[ts] || seen[ss] {
+			t.Fatalf("duplicate id in 64 draws: %q %q", ts, ss)
+		}
+		seen[ts], seen[ss] = true, true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("request", nil)
+	hdr := tr.Traceparent()
+	parts := strings.Split(hdr, "-")
+	if len(parts) != 4 || parts[0] != "00" || parts[3] != "01" {
+		t.Fatalf("bad traceparent %q", hdr)
+	}
+	if parts[1] != tr.ID() || parts[2] != root.ID().String() {
+		t.Fatalf("traceparent %q does not carry trace/root ids", hdr)
+	}
+
+	child, ok := FromTraceparent(hdr)
+	if !ok {
+		t.Fatalf("FromTraceparent rejected own output %q", hdr)
+	}
+	if child.ID() != tr.ID() {
+		t.Fatalf("trace id not adopted: %s != %s", child.ID(), tr.ID())
+	}
+	croot := child.StartSpan("request", nil)
+	data := child.Finish()
+	if data.Remote != root.ID().String() {
+		t.Fatalf("remote parent = %q, want %q", data.Remote, root.ID())
+	}
+	if data.Spans[0].Parent != root.ID().String() {
+		t.Fatalf("adopted root span parent = %q, want remote %q", data.Spans[0].Parent, root.ID())
+	}
+	_ = croot
+}
+
+func TestFromTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, h := range bad {
+		if _, ok := FromTraceparent(h); ok {
+			t.Errorf("FromTraceparent(%q) accepted", h)
+		}
+	}
+	// Future versions with extra fields are accepted per spec.
+	if _, ok := FromTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version traceparent with trailing fields rejected")
+	}
+}
+
+func TestSpanTreeWellFormed(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("request", nil)
+	exec := tr.StartSpan("execute", root)
+	tr.AddSpan("op:path", exec, time.Time{}, time.Time{}, Attr{Key: "items", Value: 3})
+	orphan := tr.StartSpan("queue", nil) // nil parent → under root
+	orphan.End()
+	exec.SetAttr("cached", true).End()
+	root.End()
+
+	d := tr.Finish()
+	if len(d.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(d.Spans))
+	}
+	if d.Root != d.Spans[0].ID {
+		t.Fatalf("root %q != first span %q", d.Root, d.Spans[0].ID)
+	}
+	ids := map[string]bool{}
+	for _, s := range d.Spans {
+		ids[s.ID] = true
+	}
+	for i, s := range d.Spans {
+		if i == 0 {
+			if s.Parent != "" {
+				t.Fatalf("root span has parent %q", s.Parent)
+			}
+			continue
+		}
+		if !ids[s.Parent] {
+			t.Fatalf("span %q parent %q not in trace", s.Name, s.Parent)
+		}
+	}
+	if d.Spans[1].Attrs["cached"] != true {
+		t.Fatalf("execute attrs = %v", d.Spans[1].Attrs)
+	}
+	if d.Spans[2].Attrs["items"] != 3 {
+		t.Fatalf("op attrs = %v", d.Spans[2].Attrs)
+	}
+	if d.Spans[3].Parent != d.Root {
+		t.Fatalf("nil-parent span should hang off root")
+	}
+}
+
+func TestSpanCapAndNilSafety(t *testing.T) {
+	tr := New()
+	tr.maxSpans = 4
+	for i := 0; i < 10; i++ {
+		s := tr.StartSpan(fmt.Sprintf("s%d", i), nil)
+		s.SetAttr("i", i) // nil-safe past the cap
+		s.End()
+	}
+	d := tr.Finish()
+	if len(d.Spans) != 4 || d.Dropped != 6 {
+		t.Fatalf("spans=%d dropped=%d, want 4/6", len(d.Spans), d.Dropped)
+	}
+
+	// All methods must be nil-receiver safe.
+	var nt *Trace
+	var ns *Span
+	if nt.StartSpan("x", nil) != nil || nt.ID() != "" || nt.Traceparent() != "" {
+		t.Fatal("nil trace not inert")
+	}
+	nt.Finish()
+	ns.SetAttr("k", "v")
+	ns.End()
+	if ns.ID() != (SpanID{}) {
+		t.Fatal("nil span id not zero")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("request", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := tr.StartSpan(fmt.Sprintf("w%d-%d", g, i), root)
+				s.SetAttr("g", g)
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	d := tr.Finish()
+	if len(d.Spans) != 161 {
+		t.Fatalf("got %d spans, want 161", len(d.Spans))
+	}
+	for i, s := range d.Spans[1:] {
+		if s.Parent != d.Root {
+			t.Fatalf("span %d parent %q != root", i+1, s.Parent)
+		}
+		if s.Micros < 0 {
+			t.Fatalf("negative duration on %s", s.Name)
+		}
+	}
+}
+
+func TestStoreRingEviction(t *testing.T) {
+	st := NewStore(3)
+	for i := 0; i < 5; i++ {
+		tr := New()
+		tr.StartSpan("request", nil).SetAttr("i", i)
+		st.Add(tr.Finish())
+	}
+	if st.Len() != 3 || st.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", st.Len(), st.Total())
+	}
+	list := st.List()
+	if len(list) != 3 {
+		t.Fatalf("list len %d", len(list))
+	}
+	// Newest first: attrs i=4,3,2.
+	for j, want := range []int{4, 3, 2} {
+		if got := list[j].Spans[0].Attrs["i"]; got != want {
+			t.Fatalf("list[%d] i=%v, want %d", j, got, want)
+		}
+	}
+	if _, ok := st.Get(list[1].TraceID); !ok {
+		t.Fatal("Get missed a retained trace")
+	}
+	if _, ok := st.Get("0000feed0000feed0000feed0000feed"); ok {
+		t.Fatal("Get found a trace that was never added")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	st := NewStore(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := New()
+				tr.StartSpan("request", nil)
+				d := tr.Finish()
+				st.Add(d)
+				st.Get(d.TraceID)
+				st.List()
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Total() != 400 || st.Len() != 16 {
+		t.Fatalf("total=%d len=%d", st.Total(), st.Len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"xqgo/internal/projection"
+	"xqgo/internal/runtime"
 	"xqgo/internal/streamexec"
 	"xqgo/internal/tokens"
 	"xqgo/internal/xmlparse"
@@ -67,10 +68,13 @@ func (q *Query) tryExecuteStream(c *Context, w io.Writer) (bool, error) {
 		Interrupt: c.dyn.Interrupt,
 		Now:       c.dyn.Now,
 		Prof:      c.dyn.Prof,
+		Trace:     c.dyn.Trace,
+		TraceSpan: c.dyn.TraceSpan,
 	}, sw)
 	p := xmlparse.ParseIncremental(c.streamR, xmlparse.Options{
 		URI:        c.streamURI,
 		Projection: projection.New(), // tokenize everything, build nothing
+		Stats:      runtime.IngestStats(c.dyn),
 		Tap:        r.Token,
 	})
 	for {

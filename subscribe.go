@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"xqgo/internal/projection"
 	"xqgo/internal/runtime"
@@ -26,8 +27,9 @@ import (
 // Delivery callbacks run on Run's goroutine; Subscription.Close is safe from
 // any goroutine.
 type Subscriber struct {
-	prof *Profile
-	subs []*Subscription
+	prof  *Profile
+	trace *Trace
+	subs  []*Subscription
 }
 
 // NewSubscriber creates an empty subscriber.
@@ -37,6 +39,13 @@ func NewSubscriber() *Subscriber { return &Subscriber{} }
 // (stream windows/results, buffer high-water mark, fallbacks).
 func (s *Subscriber) WithProfile(p *Profile) *Subscriber {
 	s.prof = p
+	return s
+}
+
+// WithTrace attaches a trace to the feed: Run records a "feed" span with the
+// first windows of each streamable subscription as live child spans.
+func (s *Subscriber) WithTrace(t *Trace) *Subscriber {
+	s.trace = t
 	return s
 }
 
@@ -59,7 +68,13 @@ func (s *Subscriber) Subscriptions() []*Subscription { return s.subs }
 // cancellation); per-subscription evaluation errors are recorded on their
 // Subscription (Err) and do not stop the feed.
 func (s *Subscriber) Run(ctx context.Context, r io.Reader, uri string) error {
-	env := streamexec.Env{Prof: s.prof}
+	env := streamexec.Env{Prof: s.prof, Trace: s.trace}
+	if s.trace != nil {
+		feed := s.trace.StartSpan("feed", nil).
+			SetAttr("uri", uri).SetAttr("subscriptions", len(s.subs))
+		env.TraceSpan = feed
+		defer feed.End()
+	}
 	if ctx != nil && ctx.Done() != nil {
 		env.Interrupt = func() error { return ctx.Err() }
 	}
@@ -146,6 +161,7 @@ type Subscription struct {
 	fellBack     bool
 	closed       atomic.Bool
 	storeResults atomic.Int64
+	lastResult   atomic.Int64 // unix nanos of the last store-path delivery
 	storeErr     atomic.Pointer[errBox]
 }
 
@@ -193,18 +209,24 @@ type SubscriptionStats struct {
 	// PeakBufferBytes is the buffer high-water mark (0 for fully-streamable
 	// plans and fallbacks).
 	PeakBufferBytes int64 `json:"peakBufferBytes"`
+	// LastResultUnixNano is the wall clock of the most recent delivery
+	// (0 before the first) — the basis for per-handle lag gauges.
+	LastResultUnixNano int64 `json:"lastResultUnixNano,omitempty"`
 }
 
-// Stats snapshots the subscription's totals. Safe after Run returns, or
-// from delivery callbacks.
+// Stats snapshots the subscription's totals. Safe from any goroutine while
+// the feed runs (the service's live introspection endpoint polls it), from
+// delivery callbacks, and after Run returns.
 func (s *Subscription) Stats() SubscriptionStats {
 	st := SubscriptionStats{Class: s.prog.Class().String(), FellBack: s.fellBack}
 	if s.runner != nil {
 		rs := s.runner.Stats()
 		st.Windows, st.Results, st.PeakBufferBytes = rs.Windows, rs.Results, rs.PeakBufferBytes
+		st.LastResultUnixNano = rs.LastResultUnixNano
 		return st
 	}
 	st.Results = s.storeResults.Load()
+	st.LastResultUnixNano = s.lastResult.Load()
 	return st
 }
 
@@ -224,7 +246,15 @@ func (s *Subscription) evalStore(doc *store.Document, env streamexec.Env) error 
 		ContextItem: doc.RootNode(),
 		Interrupt:   env.Interrupt,
 		Now:         env.Now,
-		Prof:        env.Prof,
+	}
+	// The fallback runs this subscription's own plan, which need not match
+	// the plan env.Prof was sized for (operator ids are plan-specific —
+	// sharing the profile would index out of range). Profile under a
+	// plan-sized profile and fold the counters back.
+	if env.Prof != nil {
+		prof := s.query.prepared.NewProfile(false)
+		dyn.Prof = prof
+		defer func() { env.Prof.Merge(prof.Report().Counters) }()
 	}
 	it, err := s.query.prepared.RunIterator(dyn)
 	if err != nil {
@@ -251,6 +281,7 @@ func (s *Subscription) evalStore(doc *store.Document, env streamexec.Env) error 
 		buf.Reset()
 		sw = tokens.NewStreamWriter(&buf)
 		s.storeResults.Add(1)
+		s.lastResult.Store(time.Now().UnixNano())
 		env.Prof.AddStreamResults(1)
 		if err := s.deliver(out); err != nil {
 			return err

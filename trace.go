@@ -1,0 +1,147 @@
+package xqgo
+
+import (
+	"time"
+
+	"xqgo/internal/trace"
+)
+
+// Request tracing: a Trace attached to a Context collects one span per
+// pipeline stage of each execution — ingestion, projection, optimizer
+// rewrites, per-operator execution (with observed vs. estimated cardinality),
+// streaming windows — under a single "execute" span. The engine's hot path is
+// never touched: apart from the live window spans the streaming evaluator
+// records, every execution-stage span is synthesized after the run from the
+// attached Profile's counters and the compile-time rewrite trace, so tracing
+// costs one extra report snapshot per execution and nothing per item.
+type (
+	// Trace is one request's span collection (see internal/trace). Create
+	// with NewTrace or adopt an upstream context with TraceFromHeader.
+	Trace = trace.Trace
+	// TraceSpan is one timed stage of a Trace.
+	TraceSpan = trace.Span
+	// TraceData is the JSON-ready snapshot Trace.Finish returns.
+	TraceData = trace.Data
+)
+
+// NewTrace creates an empty trace with a fresh random W3C trace id.
+func NewTrace() *Trace { return trace.New() }
+
+// TraceFromHeader adopts an incoming W3C traceparent header value,
+// continuing the caller's trace id. ok is false for malformed values; fall
+// back to NewTrace.
+func TraceFromHeader(traceparent string) (*Trace, bool) {
+	return trace.FromTraceparent(traceparent)
+}
+
+// WithTrace attaches a trace to this context: each subsequent execution adds
+// its span tree. Pair with WithProfile — operator, ingestion and projection
+// spans are synthesized from the profile's counters, so without one only the
+// execute, rewrite and window spans appear. Pass nil to detach.
+func (c *Context) WithTrace(t *Trace) *Context {
+	c.dyn.Trace = t
+	return c
+}
+
+// Per-stage caps on synthesized spans, small enough that one execution's
+// stages plus the streaming evaluator's live window spans fit comfortably
+// inside the trace's overall budget (trace.DefaultMaxSpans).
+const (
+	maxRewriteSpans = 32
+	maxPathAttrs    = 16
+)
+
+// traced brackets one execution with an "execute" span and post-run span
+// synthesis. With no trace attached it is one nil check.
+func (q *Query) traced(c *Context, fn func() error) error {
+	tr := c.dyn.Trace
+	if tr == nil {
+		return fn()
+	}
+	span := tr.StartSpan("execute", c.dyn.TraceSpan)
+	prev := c.dyn.TraceSpan
+	c.dyn.TraceSpan = span
+	start := time.Now()
+	err := fn()
+	c.dyn.TraceSpan = prev
+	q.synthesizeSpans(tr, span, c.dyn.Prof, start, err)
+	span.End()
+	return err
+}
+
+// synthesizeSpans renders the execution's stages as spans under exec:
+// optimizer rewrites (compile-time, zero duration at the execution start),
+// the static projection decision, ingestion totals, per-operator rows with
+// observed vs. estimated cardinality, and a streaming-window summary. Apart
+// from the operator rows' inclusive times (timed profiles only) the
+// synthesized spans carry their information in attributes, not durations.
+func (q *Query) synthesizeSpans(tr *Trace, exec *TraceSpan, prof *Profile, start time.Time, err error) {
+	if err != nil {
+		exec.SetAttr("error", err.Error())
+	}
+
+	if events := q.RewriteTrace(); len(events) > 0 {
+		opt := tr.AddSpan("optimize", exec, start, start,
+			trace.Attr{Key: "ruleFires", Value: q.RuleFires()})
+		for i, ev := range events {
+			if i == maxRewriteSpans {
+				opt.SetAttr("rewritesOmitted", len(events)-maxRewriteSpans)
+				break
+			}
+			tr.AddSpan("rewrite:"+ev.Rule, opt, start, start,
+				trace.Attr{Key: "before", Value: ev.Before},
+				trace.Attr{Key: "after", Value: ev.After})
+		}
+	}
+
+	proj := q.ro.Projection
+	pspan := tr.AddSpan("projection", exec, start, start,
+		trace.Attr{Key: "projectable", Value: proj.Projectable()})
+	if proj != nil && !proj.KeepAll {
+		paths := make([]string, 0, min(len(proj.List), maxPathAttrs))
+		for i, p := range proj.List {
+			if i == maxPathAttrs {
+				pspan.SetAttr("pathsOmitted", len(proj.List)-maxPathAttrs)
+				break
+			}
+			paths = append(paths, p.String())
+		}
+		pspan.SetAttr("paths", paths)
+	}
+
+	if prof == nil {
+		exec.SetAttr("profile", "off")
+		return
+	}
+	rep := prof.Report()
+	c := rep.Counters
+	pspan.SetAttr("nodesKept", c.DocNodesBuilt).SetAttr("nodesSkipped", c.NodesSkipped)
+
+	tr.AddSpan("ingest", exec, start, start,
+		trace.Attr{Key: "xmlTokens", Value: c.XMLTokens},
+		trace.Attr{Key: "nodesBuilt", Value: c.DocNodesBuilt},
+		trace.Attr{Key: "nodesSkipped", Value: c.NodesSkipped},
+		trace.Attr{Key: "bytesParsedOnDemand", Value: c.BytesParsedOnDemand})
+
+	for _, op := range rep.Operators {
+		end := start
+		if rep.Timed {
+			end = start.Add(time.Duration(op.Nanos))
+		}
+		tr.AddSpan("op:"+op.Kind, exec, start, end,
+			trace.Attr{Key: "detail", Value: op.Detail},
+			trace.Attr{Key: "line", Value: op.Line},
+			trace.Attr{Key: "col", Value: op.Col},
+			trace.Attr{Key: "starts", Value: op.Starts},
+			trace.Attr{Key: "items", Value: op.Items},
+			trace.Attr{Key: "estItems", Value: op.EstItems})
+	}
+
+	if c.StreamWindows > 0 || c.StreamFallbacks > 0 {
+		tr.AddSpan("windows-summary", exec, start, start,
+			trace.Attr{Key: "windows", Value: c.StreamWindows},
+			trace.Attr{Key: "results", Value: c.StreamResults},
+			trace.Attr{Key: "peakBufferBytes", Value: c.StreamBufferPeakBytes},
+			trace.Attr{Key: "fallbacks", Value: c.StreamFallbacks})
+	}
+}

@@ -1,0 +1,149 @@
+package xqgo_test
+
+// End-to-end tests of the request-tracing surface through the public API:
+// concurrent trace capture (run under -race in CI — each goroutine owns a
+// trace, all share one query), span-tree well-formedness, and the
+// store-fallback subscription profile regression (a fallback plan larger
+// than the profile's creating plan must not index out of range).
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"xqgo"
+)
+
+// traceSpanNames collects span names of a finished trace keyed by count.
+func traceSpanNames(d xqgo.TraceData) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range d.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// checkSpanTree asserts structural well-formedness: unique ids, every
+// parent resolves to another span in the same trace (or the adopted remote
+// parent), and exactly one root matching Data.Root.
+func checkSpanTree(t *testing.T, d xqgo.TraceData) {
+	t.Helper()
+	ids := make(map[string]bool, len(d.Spans))
+	for _, sp := range d.Spans {
+		if ids[sp.ID] {
+			t.Errorf("duplicate span id %s", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+	roots := 0
+	for _, sp := range d.Spans {
+		switch {
+		case sp.Parent == "":
+			roots++
+			if sp.ID != d.Root {
+				t.Errorf("parentless span %s (%s) is not the recorded root %s", sp.ID, sp.Name, d.Root)
+			}
+		case !ids[sp.Parent] && sp.Parent != d.Remote:
+			t.Errorf("span %s (%s) has unknown parent %s", sp.ID, sp.Name, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want 1", roots)
+	}
+}
+
+// TestConcurrentTraceCapture runs one compiled query from parallel
+// goroutines, each execution under its own trace and profile, and checks
+// every resulting span tree independently: well-formed, and carrying the
+// execute, optimizer, projection, ingestion and per-operator stages.
+func TestConcurrentTraceCapture(t *testing.T) {
+	doc, err := xqgo.Parse(strings.NewReader(explainBib), "bib.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xqgo.MustCompile(explainQuery, nil)
+
+	const workers = 8
+	datas := make([]xqgo.TraceData, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := xqgo.NewTrace()
+			ctx := xqgo.NewContext().
+				WithContextNode(doc).
+				WithProfile(q.NewCountersProfile()).
+				WithTrace(tr)
+			if _, err := q.EvalString(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			datas[i] = tr.Finish()
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, workers)
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		d := datas[i]
+		if seen[d.TraceID] {
+			t.Errorf("worker %d: trace id %s reused across goroutines", i, d.TraceID)
+		}
+		seen[d.TraceID] = true
+		checkSpanTree(t, d)
+		names := traceSpanNames(d)
+		for _, want := range []string{"execute", "optimize", "projection", "ingest"} {
+			if names[want] == 0 {
+				t.Errorf("worker %d: trace missing %q span: %v", i, want, names)
+			}
+		}
+		ops := 0
+		for name, n := range names {
+			if strings.HasPrefix(name, "op:") {
+				ops += n
+			}
+		}
+		if ops < 3 {
+			t.Errorf("worker %d: trace has %d op: spans, want >= 3 (%v)", i, ops, names)
+		}
+	}
+}
+
+// TestSubscriptionFallbackProfileIsolation: a store-required subscription
+// whose plan has more operators than the feed profile's creating plan must
+// evaluate cleanly — the fallback runs under its own plan-sized profile and
+// folds counters back, instead of indexing the shared profile out of range.
+func TestSubscriptionFallbackProfileIsolation(t *testing.T) {
+	small := xqgo.MustCompile(`/Order/OrderLine`, nil)
+	big := xqgo.MustCompile(
+		`for $x in //OrderLine let $y := $x/Item where $y/ID = "L1" `+
+			`order by $x/SellersID return <r>{$y/ID/text()}{$x/SellersID/text()}</r>`, nil)
+	prof := small.NewCountersProfile()
+	sub := xqgo.NewSubscriber().WithProfile(prof)
+	var bigResults int
+	sub.Subscribe(small, func([]byte) error { return nil })
+	bigSub := sub.Subscribe(big, func([]byte) error { bigResults++; return nil })
+
+	feed := `<Order><OrderLine><SellersID>1</SellersID><Item><ID>L1</ID></Item></OrderLine></Order>`
+	if err := sub.Run(context.Background(), strings.NewReader(feed), "orders.xml"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bigSub.Class() != xqgo.StreamStoreRequired {
+		t.Fatalf("big subscription class = %v, want store-required", bigSub.Class())
+	}
+	if err := bigSub.Err(); err != nil {
+		t.Fatalf("store-fallback subscription errored: %v", err)
+	}
+	if bigResults != 1 {
+		t.Errorf("store-fallback results = %d, want 1", bigResults)
+	}
+	if rep := prof.Report(); rep.Counters.StreamResults == 0 {
+		t.Errorf("fallback counters not folded into the feed profile: %+v", rep.Counters)
+	}
+}

@@ -526,7 +526,13 @@ func (q *Query) Eval(ctx *Context) (Sequence, error) {
 	if ctx == nil {
 		ctx = NewContext()
 	}
-	return q.prepared.Eval(ctx.dyn)
+	var seq Sequence
+	err := q.traced(ctx, func() error {
+		var err error
+		seq, err = q.prepared.Eval(ctx.dyn)
+		return err
+	})
+	return seq, err
 }
 
 // EvalContext is Eval under a context.Context: cancellation and deadline
@@ -541,7 +547,13 @@ func (q *Query) EvalContext(ctx context.Context, c *Context) (Sequence, error) {
 		return nil, err
 	}
 	c.bindContext(ctx)
-	return q.prepared.Eval(c.dyn)
+	var seq Sequence
+	err := q.traced(c, func() error {
+		var err error
+		seq, err = q.prepared.Eval(c.dyn)
+		return err
+	})
+	return seq, err
 }
 
 // EvalString executes and serializes the result to XML text.
@@ -563,12 +575,14 @@ func (q *Query) Execute(ctx *Context, w io.Writer) error {
 	if ctx == nil {
 		ctx = NewContext()
 	}
-	if ctx.streamMode {
-		if handled, err := q.tryExecuteStream(ctx, w); handled {
-			return err
+	return q.traced(ctx, func() error {
+		if ctx.streamMode {
+			if handled, err := q.tryExecuteStream(ctx, w); handled {
+				return err
+			}
 		}
-	}
-	return q.prepared.ExecuteToWriter(ctx.dyn, w)
+		return q.prepared.ExecuteToWriter(ctx.dyn, w)
+	})
 }
 
 // ExecuteContext is Execute under a context.Context (see EvalContext).
@@ -580,12 +594,14 @@ func (q *Query) ExecuteContext(ctx context.Context, c *Context, w io.Writer) err
 		return err
 	}
 	c.bindContext(ctx)
-	if c.streamMode {
-		if handled, err := q.tryExecuteStream(c, w); handled {
-			return err
+	return q.traced(c, func() error {
+		if c.streamMode {
+			if handled, err := q.tryExecuteStream(c, w); handled {
+				return err
+			}
 		}
-	}
-	return q.prepared.ExecuteToWriter(c.dyn, w)
+		return q.prepared.ExecuteToWriter(c.dyn, w)
+	})
 }
 
 // Iterator returns a lazy result iterator; Next returns (item, ok, error).
