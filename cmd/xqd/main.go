@@ -45,6 +45,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8090", "listen address")
 		workers   = flag.Int("workers", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+		qWorkers  = flag.Int("query-workers", 0, "morsel workers per query, leased from idle executor slots (0 = off, -1 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "admission queue depth before rejecting with 503")
 		planCache = flag.Int("plan-cache", 256, "compiled-plan LRU capacity")
 		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
@@ -89,6 +90,7 @@ func main() {
 
 	svc := service.New(service.Config{
 		Workers:            *workers,
+		QueryWorkers:       *qWorkers,
 		QueueDepth:         *queue,
 		PlanCacheSize:      *planCache,
 		DefaultTimeout:     *timeout,

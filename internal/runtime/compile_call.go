@@ -293,7 +293,7 @@ func (c *compiler) compileMemoizedCall(n *expr.Call, uf *userFunc, argFns []seqF
 		}
 		key, cachable := memoKey(fkey, args)
 		if cachable {
-			if hit, ok := fr.dyn.memo.get(key); ok {
+			if hit, ok := fr.dyn.base().memo.get(key); ok {
 				fr.dyn.Prof.addMemoHit()
 				return newSliceIter(hit)
 			}
@@ -315,7 +315,7 @@ func (c *compiler) compileMemoizedCall(n *expr.Call, uf *userFunc, argFns []seqF
 			return errIter(err)
 		}
 		if cachable {
-			fr.dyn.memo.put(key, out)
+			fr.dyn.base().memo.put(key, out)
 		}
 		return newSliceIter(out)
 	}

@@ -118,12 +118,12 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 	}
 
 	noBatch := c.opts.NoBatch
-	makeTuples := func(fr *Frame) tupleSrc {
+	makeTuples := func(fr *Frame, withWhere bool) tupleSrc {
 		tuples := baseTuple(fr)
 		for i := range clauses {
 			tuples = applyClause(tuples, &clauses[i])
 		}
-		if whereFn != nil {
+		if whereFn != nil && withWhere {
 			tuples = filterTuples(tuples, whereFn)
 		}
 		if len(groupSpecs) > 0 {
@@ -139,15 +139,34 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 	}
 
 	if len(orderKeys) == 0 {
+		// Morsel eligibility (see morsel.go): order-preserving for/where
+		// pipelines whose where and return clauses are context-free and call
+		// no user functions (a function body may lazily force a shared
+		// global) can evaluate tuples on the worker pool. Referenced outer
+		// and let bindings are forced on the pulling goroutine first — the
+		// error-timing caveat of parallel.go applies. The where clause moves
+		// out of the tuple source so workers apply it per tuple.
+		parSafe := !noBatch && len(groupSpecs) == 0 &&
+			!expr.UsesContext(n.Ret) && !c.hasUserCall(n.Ret) &&
+			(n.Where == nil || (!expr.UsesContext(n.Where) && !c.hasUserCall(n.Where)))
+		var outerForce, letForce []int
+		if parSafe {
+			outerForce, letForce = c.flworForceSets(n, clauses)
+		}
 		fn := func(fr *Frame) Iter {
-			return &flworIter{tuples: makeTuples(fr), retFn: retFn, noBatch: noBatch}
+			if parSafe && fr.dyn.Workers > 1 {
+				return &flworIter{tuples: makeTuples(fr, false), retFn: retFn, noBatch: noBatch,
+					whereFn: whereFn,
+					par:     &flworMorsel{fr: fr, outerForce: outerForce, letForce: letForce}}
+			}
+			return &flworIter{tuples: makeTuples(fr, true), retFn: retFn, noBatch: noBatch}
 		}
 		return c.tag("flwor", n, fn), nil
 	}
 
 	// Order-by path: materialize tuples and their keys.
 	fn := func(fr *Frame) Iter {
-		tuples := makeTuples(fr)
+		tuples := makeTuples(fr, true)
 		pull := tuples.next
 		if !noBatch {
 			pull = batchedTuplePull(tuples)
@@ -228,6 +247,75 @@ func (c *compiler) compileFlwor(n *expr.Flwor) (seqFn, error) {
 	return c.tag("flwor", n, fn), nil
 }
 
+// hasUserCall reports whether e contains a call to a user-declared
+// function. Bodies of user functions may lazily force shared bindings
+// (globals, memoized arguments), which morsel workers must not race on, so
+// such expressions keep the FLWOR sequential.
+func (c *compiler) hasUserCall(e expr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*expr.Call); ok {
+			if _, isUser := c.funcs[funcKey(call.Name, len(call.Args))]; isUser {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// flworForceSets classifies the variables the where/return clauses read,
+// for a morsel-parallel FLWOR: letForce are this FLWOR's own let bindings
+// (their shared LazySeq must be forced per tuple on the pulling goroutine —
+// two workers forcing one lazily would race; anything the let's input reads
+// is in turn forced inside that same caller-side evaluation, so no closure
+// is needed), outerForce are bindings from outside the FLWOR, forced once
+// before the first round. For-clause and positional variables are
+// materialized per tuple already and need no forcing. Let bindings nothing
+// references are never forced, preserving lazy skipping of erroring
+// dead bindings.
+func (c *compiler) flworForceSets(n *expr.Flwor, clauses []compiledClause) (outer, lets []int) {
+	declared := map[int]bool{}
+	isLet := map[int]bool{}
+	for i, cc := range clauses {
+		declared[cc.varID] = true
+		if cc.posID >= 0 {
+			declared[cc.posID] = true
+		}
+		if n.Clauses[i].Kind == expr.LetClause {
+			isLet[cc.varID] = true
+		}
+	}
+	refs := expr.FreeVars(n.Ret)
+	if n.Where != nil {
+		for name := range expr.FreeVars(n.Where) {
+			refs[name] = true
+		}
+	}
+	seen := map[int]bool{}
+	for name := range refs {
+		id, ok := c.resolve(xdm.ParseClark(name))
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		switch {
+		case isLet[id]:
+			lets = append(lets, id)
+		case !declared[id]:
+			outer = append(outer, id)
+		}
+	}
+	return outer, lets
+}
+
 // flworIter streams the return clause over a tuple stream. Item pulls stay
 // strictly lazy (one tuple advanced at a time); batch pulls prefetch a
 // batch of tuples and forward the batch demand into the return clause. A
@@ -239,6 +327,13 @@ type flworIter struct {
 	retFn   seqFn
 	noBatch bool
 
+	// whereFn is set only on a morsel-parallel FLWOR: the filter moves out
+	// of the tuple source so workers can apply it per tuple; item-granular
+	// pulls apply it in nextTuple. par holds the parallel round state; nil
+	// means fully sequential (whereFn is then inside tuples already).
+	whereFn seqFn
+	par     *flworMorsel
+
 	cur     Iter
 	pending []*Frame
 	pi, pn  int
@@ -246,7 +341,29 @@ type flworIter struct {
 	tdone   bool
 }
 
+// nextTuple yields the next tuple that passes the where clause (when the
+// filter lives at this level; see whereFn).
 func (f *flworIter) nextTuple(batched bool) (*Frame, bool, error) {
+	for {
+		t, ok, err := f.rawTuple(batched)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.whereFn != nil {
+			keep, kerr := ebvOf(f.whereFn(t))
+			if kerr != nil {
+				return nil, false, kerr
+			}
+			if !keep {
+				continue
+			}
+		}
+		return t, true, nil
+	}
+}
+
+// rawTuple yields the next tuple from the source, unfiltered.
+func (f *flworIter) rawTuple(batched bool) (*Frame, bool, error) {
 	for {
 		if f.pi < f.pn {
 			t := f.pending[f.pi]
@@ -304,8 +421,16 @@ func (f *flworIter) Next() (xdm.Item, bool, error) {
 	}
 }
 
-// NextBatch implements BatchIter.
+// NextBatch implements BatchIter. With parallel round state attached, the
+// fill first tries a morsel round; handled=false (no workers available, a
+// return iterator already open, or a still-parsing streamed input) falls
+// through to the sequential fill for this pull.
 func (f *flworIter) NextBatch(buf []xdm.Item) (int, error) {
+	if f.par != nil {
+		if n, err, handled := f.par.nextBatch(f, buf); handled {
+			return n, err
+		}
+	}
 	n := 0
 	for n < len(buf) {
 		if f.cur == nil {
@@ -328,6 +453,178 @@ func (f *flworIter) NextBatch(buf []xdm.Item) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// flworMorsel is the parallel-round state of a morsel-eligible FLWOR: the
+// pulling goroutine gathers a round of raw tuples (forcing the let and
+// outer bindings workers will read — see flworForceSets), worker forks
+// evaluate where+return per tuple chunk, and chunk outputs stitch back in
+// tuple order, preserving the sequential result order exactly.
+type flworMorsel struct {
+	fr         *Frame
+	outerForce []int // bindings outside the FLWOR; forced once, first round
+	letForce   []int // the FLWOR's own referenced lets; forced per tuple
+	forced     bool
+
+	out      []xdm.Item // pending stitched output of the last round
+	oi       int
+	roundErr error // held until the round's outputs have been delivered
+	done     bool
+}
+
+// nextBatch serves the parallel side of flworIter.NextBatch; handled=false
+// defers this pull to the sequential fill.
+func (m *flworMorsel) nextBatch(f *flworIter, buf []xdm.Item) (int, error, bool) {
+	for {
+		if m.oi < len(m.out) {
+			n := copy(buf, m.out[m.oi:])
+			m.oi += n
+			if m.oi >= len(m.out) {
+				m.out, m.oi = nil, 0
+			}
+			return n, nil, true
+		}
+		if m.roundErr != nil {
+			err := m.roundErr
+			m.roundErr = nil
+			m.done = true
+			return 0, err, true
+		}
+		if m.done || f.cur != nil || m.fr.dyn.streamingLazy() {
+			return 0, nil, false
+		}
+		ran, err := m.runRound(f)
+		if err != nil {
+			m.done = true
+			return 0, err, true
+		}
+		if !ran {
+			return 0, nil, false
+		}
+		// Loop: serve the round's output, or run another round if it
+		// produced nothing (all tuples where-filtered).
+	}
+}
+
+// runRound gathers and evaluates one parallel round. ran=false (without
+// error) means no extra workers were available or the tuple source is
+// exhausted; the caller falls back to the sequential fill.
+func (m *flworMorsel) runRound(f *flworIter) (bool, error) {
+	d := m.fr.dyn
+	extra, release := d.leaseExtra(d.Workers - 1)
+	if extra == 0 {
+		return false, nil
+	}
+	defer release()
+	if !m.forced {
+		for _, id := range m.outerForce {
+			if _, err := m.fr.lookup(id).All(); err != nil {
+				return false, err
+			}
+		}
+		m.forced = true
+	}
+	// Gather raw tuples on the puller, forcing referenced let bindings so
+	// workers only read materialized values. A source or forcing error is
+	// stashed until the outputs of the tuples gathered before it deliver,
+	// matching item-at-a-time error order.
+	roundTuples := (extra + 1) * flworRoundChunks * flworMorselTuples
+	round := make([]*Frame, 0, roundTuples)
+	var terr error
+gather:
+	for len(round) < roundTuples {
+		t, ok, err := f.rawTuple(true)
+		if err != nil {
+			terr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		for _, id := range m.letForce {
+			if _, err := t.lookup(id).All(); err != nil {
+				terr = err
+				break gather
+			}
+		}
+		round = append(round, t)
+	}
+	if len(round) == 0 {
+		if terr != nil {
+			m.roundErr = terr
+			return true, nil
+		}
+		m.done = true
+		return true, nil
+	}
+	chunks := (len(round) + flworMorselTuples - 1) / flworMorselTuples
+	parts, rerr := morselRound(d, extra, chunks, func(w *Dynamic, i int) (xdm.Sequence, error) {
+		lo := i * flworMorselTuples
+		hi := lo + flworMorselTuples
+		if hi > len(round) {
+			hi = len(round)
+		}
+		var out xdm.Sequence
+		for _, t := range round[lo:hi] {
+			seq, err := evalFlworTuple(w, f, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, seq...)
+			if err := w.CheckInterruptN(len(seq) + 1); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	})
+	if rerr != nil {
+		// A chunk failed. Group cancellation may have replaced the error
+		// sequential evaluation would surface first, so replay this round's
+		// saved tuples on the puller: the outputs before the first failing
+		// tuple deliver, then its error — deterministic, item-order exact.
+		var replay xdm.Sequence
+		m.roundErr = nil
+		for _, t := range round {
+			seq, err := evalFlworTuple(d, f, t)
+			if err != nil {
+				m.roundErr = err
+				break
+			}
+			replay = append(replay, seq...)
+		}
+		if m.roundErr == nil {
+			// The parallel failure did not reproduce sequentially (a
+			// transient interrupt): keep the replayed outputs and continue
+			// with any error the gather stashed.
+			m.roundErr = terr
+		}
+		m.out, m.oi = replay, 0
+		return true, nil
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]xdm.Item, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	m.out, m.oi = out, 0
+	m.roundErr = terr
+	return true, nil
+}
+
+// evalFlworTuple applies the where clause and drains the return clause for
+// one tuple under a specific worker context.
+func evalFlworTuple(w *Dynamic, f *flworIter, t *Frame) (xdm.Sequence, error) {
+	t2 := t.withDyn(w)
+	if f.whereFn != nil {
+		keep, err := ebvOf(f.whereFn(t2))
+		if err != nil || !keep {
+			return nil, err
+		}
+	}
+	return drainBatched(w, f.retFn(t2))
 }
 
 // batchedTuplePull adapts a tupleSrc's batch side to one-at-a-time

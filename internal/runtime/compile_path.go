@@ -248,14 +248,16 @@ func (c *compiler) compileStep(n *expr.Step) (seqFn, error) {
 		if !isNode {
 			return errIter(xdm.ErrType("axis step applied to an atomic value"))
 		}
-		return axisIter(node, axis, test)
+		return axisIter(fr.dyn, node, axis, test)
 	}, nil
 }
 
 // axisIter returns the nodes of an axis from a context node, filtered by
 // the node test, in axis order (reverse axes deliver reverse document
-// order; the enclosing path restores document order when required).
-func axisIter(n xdm.Node, axis expr.Axis, test xtypes.NodeTest) Iter {
+// order; the enclosing path restores document order when required). dyn
+// enables the morsel upgrade of large descendant scans; nil keeps every
+// axis sequential.
+func axisIter(dyn *Dynamic, n xdm.Node, axis expr.Axis, test xtypes.NodeTest) Iter {
 	principal := axis.Principal()
 	switch axis {
 	case expr.AxisSelf:
@@ -298,7 +300,7 @@ func axisIter(n xdm.Node, axis expr.Axis, test xtypes.NodeTest) Iter {
 
 	case expr.AxisDescendant, expr.AxisDescendantOrSelf:
 		if sn, ok := n.(*store.Node); ok {
-			return storeDescendantIter(sn, axis == expr.AxisDescendantOrSelf, test, principal)
+			return storeDescendantIter(dyn, sn, axis == expr.AxisDescendantOrSelf, test, principal)
 		}
 		return genericDescendantIter(n, axis == expr.AxisDescendantOrSelf, test, principal)
 
@@ -435,22 +437,28 @@ func (s *storeChildScan) NextBatch(buf []xdm.Item) (int, error) {
 
 // storeDescScan exploits the array layout: the descendants of a node are
 // exactly the id range (id, endID], minus attribute nodes — a linear scan
-// with no tree navigation at all.
+// with no tree navigation at all. The range structure is also what makes
+// the scan morsel-parallel: contiguous id sub-ranges partition the work,
+// and stitching their matches by sub-range order is document order.
 type storeDescScan struct {
 	d         *store.Document
 	cur, end  int32
 	first     bool
 	test      xtypes.NodeTest
 	principal xdm.NodeKind
+	dyn       *Dynamic // morsel upgrade for batch pulls; nil stays sequential
+
+	out []xdm.Item // pending stitched output of the last parallel round
+	oi  int
 }
 
-func storeDescendantIter(n *store.Node, orSelf bool, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
+func storeDescendantIter(dyn *Dynamic, n *store.Node, orSelf bool, test xtypes.NodeTest, principal xdm.NodeKind) Iter {
 	cur := n.ID
 	if !orSelf {
 		cur++
 	}
 	return &storeDescScan{d: n.D, cur: cur, end: n.D.EndID(n.ID), first: orSelf,
-		test: test, principal: principal}
+		test: test, principal: principal, dyn: dyn}
 }
 
 // scan advances past skipped ids and returns the next matching node, or nil.
@@ -470,7 +478,24 @@ func (s *storeDescScan) scan() *store.Node {
 	return nil
 }
 
+func (s *storeDescScan) serve(buf []xdm.Item) int {
+	n := copy(buf, s.out[s.oi:])
+	s.oi += n
+	if s.oi >= len(s.out) {
+		s.out, s.oi = nil, 0
+	}
+	return n
+}
+
 func (s *storeDescScan) Next() (xdm.Item, bool, error) {
+	if s.oi < len(s.out) {
+		it := s.out[s.oi]
+		s.oi++
+		if s.oi >= len(s.out) {
+			s.out, s.oi = nil, 0
+		}
+		return it, true, nil
+	}
 	if n := s.scan(); n != nil {
 		return n, true, nil
 	}
@@ -478,8 +503,24 @@ func (s *storeDescScan) Next() (xdm.Item, bool, error) {
 }
 
 // NextBatch implements BatchIter: the inner scan loop runs without any
-// per-item interface dispatch — the whole point of the fast path.
+// per-item interface dispatch — the whole point of the fast path. On a
+// large remaining id range with morsel workers configured, the fill
+// upgrades to parallel rounds: contiguous sub-ranges are scanned by the
+// worker pool and the matches stitched back in range order (= document
+// order); leftover matches queue on s.out for subsequent pulls.
 func (s *storeDescScan) NextBatch(buf []xdm.Item) (int, error) {
+	for s.oi >= len(s.out) && s.morselReady() {
+		ran, err := s.morselFill()
+		if err != nil {
+			return 0, err
+		}
+		if !ran {
+			break
+		}
+	}
+	if s.oi < len(s.out) {
+		return s.serve(buf), nil
+	}
 	n := 0
 	for n < len(buf) {
 		nd := s.scan()
@@ -490,6 +531,74 @@ func (s *storeDescScan) NextBatch(buf []xdm.Item) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// morselReady reports whether a parallel round is worth attempting: a pool
+// is configured, the scan is past any self node, the document is fully
+// materialized (a lazy scan must not force input out of order), and at
+// least two morsels of ids remain.
+func (s *storeDescScan) morselReady() bool {
+	return s.dyn != nil && s.dyn.Workers > 1 && !s.first && !s.d.Lazy() &&
+		int(s.end)-int(s.cur)+1 >= 2*descMorselIDs
+}
+
+// morselFill runs one parallel round over the next slice of the id range.
+// ran=false (without error) means no extra workers were available; the
+// caller falls back to the sequential fill for this pull.
+func (s *storeDescScan) morselFill() (bool, error) {
+	remaining := int(s.end) - int(s.cur) + 1
+	chunks := (remaining + descMorselIDs - 1) / descMorselIDs
+	extra, release := s.dyn.leaseExtra(chunks - 1)
+	if extra == 0 {
+		return false, nil
+	}
+	defer release()
+	if max := (extra + 1) * descRoundChunks; chunks > max {
+		chunks = max
+	}
+	base := s.cur
+	parts, err := morselRound(s.dyn, extra, chunks, func(w *Dynamic, i int) ([]xdm.Item, error) {
+		lo := base + int32(i*descMorselIDs)
+		hi := lo + descMorselIDs - 1
+		if hi > s.end {
+			hi = s.end
+		}
+		var out []xdm.Item
+		for id := lo; id <= hi; id++ {
+			if id&1023 == 0 {
+				if err := w.CheckInterruptN(1024); err != nil {
+					return nil, err
+				}
+			}
+			if s.d.Kind(id) == xdm.AttributeNode {
+				continue
+			}
+			node := &store.Node{D: s.d, ID: id}
+			if s.test.MatchesNode(node, s.principal) {
+				out = append(out, node)
+			}
+		}
+		return out, nil
+	})
+	// The round covered [base, base+chunks*descMorselIDs), clamped to end.
+	if next := int(base) + chunks*descMorselIDs; next > int(s.end) {
+		s.cur = s.end + 1
+	} else {
+		s.cur = int32(next)
+	}
+	if err != nil {
+		return true, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]xdm.Item, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	s.out, s.oi = out, 0
+	return true, nil
 }
 
 // genericDescendantIter is the interface-only fallback (used by non-store

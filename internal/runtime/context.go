@@ -58,6 +58,24 @@ type Dynamic struct {
 	Trace     *trace.Trace
 	TraceSpan *trace.Span
 
+	// Workers is the morsel-parallelism target for this execution: the
+	// total number of workers (including the pulling goroutine) the
+	// morsel-split loops may use per round (see morsel.go). Zero or one
+	// keeps every loop sequential. Extra workers beyond the first are
+	// leased per round from Limiter.
+	Workers int
+	// Limiter arbitrates extra morsel workers against a shared slot pool;
+	// nil uses the process-wide GOMAXPROCS pool.
+	Limiter WorkerLimiter
+
+	// root, on a worker context created by fork, points at the execution's
+	// base context owning the shared per-execution caches (indexes, memo,
+	// stable dateTime, lazily installed resolver). Nil on the base itself.
+	root *Dynamic
+	// resolveMu guards the lazy Resolver install in resolver(); worker
+	// goroutines hit it concurrently on their first fn:doc.
+	resolveMu sync.Mutex
+
 	once    sync.Once
 	nowAtom xdm.Atomic
 	indexes indexCache
@@ -70,10 +88,49 @@ type Dynamic struct {
 	// correct for the stream's one-shot parse).
 	proj atomic.Pointer[projection.Paths]
 
-	// Batch buffer pool (see batch.go). Guarded by its own mutex: the
-	// Parallel engine shares one Dynamic across branch goroutines.
+	// Batch buffer pool (see batch.go). Per-context: every morsel worker
+	// forks its own Dynamic and with it a private pool, so workers recycle
+	// buffers without touching each other's cache lines. The mutex remains
+	// for code paths that still share one context across goroutines.
 	bufMu   sync.Mutex
 	bufFree [][]xdm.Item
+}
+
+// base returns the context owning the shared per-execution caches; a worker
+// context created by fork delegates to the execution it was forked from.
+func (d *Dynamic) base() *Dynamic {
+	if d.root != nil {
+		return d.root
+	}
+	return d
+}
+
+// fork creates a per-worker slice of the dynamic context: shared inputs are
+// carried over by value, while every piece of mutable hot-path state — the
+// interrupt step counter, the batch buffer pool, and the profile shard — is
+// private to the returned context. Shared caches (structural-join indexes,
+// the call memo, the stable dateTime, the lazily installed resolver) stay
+// on the base and are reached through base(). Dynamic holds locks and
+// atomics, so this is a deliberate field-by-field copy rather than a struct
+// copy.
+func (d *Dynamic) fork() *Dynamic {
+	b := d.base()
+	w := &Dynamic{
+		Vars:        d.Vars,
+		ContextItem: d.ContextItem,
+		Resolver:    d.Resolver,
+		Collections: d.Collections,
+		Now:         d.Now,
+		Interrupt:   d.Interrupt,
+		Stream:      d.Stream,
+		Prof:        d.Prof.shard(),
+		Trace:       d.Trace,
+		TraceSpan:   d.TraceSpan,
+		Workers:     1, // workers never nest their own morsel rounds
+		root:        b,
+	}
+	w.proj.Store(d.proj.Load())
+	return w
 }
 
 // interruptStride bounds how often the Interrupt hook actually runs: once
@@ -83,8 +140,10 @@ type Dynamic struct {
 const interruptStride = 256
 
 // CheckInterrupt polls the cancellation hook, rate-limited by the step
-// budget. Safe for concurrent use (the Parallel engine shares one Dynamic
-// across branch goroutines).
+// budget. The counter is per-context: parallel workers run on forked
+// contexts, so each has its own counter (no shared cache line in the
+// hottest loop) while the deadline check itself — the Interrupt hook —
+// stays shared, keeping every worker's poll latency bounded by one stride.
 func (d *Dynamic) CheckInterrupt() error {
 	if d.Interrupt == nil {
 		return nil
@@ -101,7 +160,7 @@ func (d *Dynamic) CheckInterrupt() error {
 // one index per document and shares it across requests, so concurrent
 // executions skip the per-Dynamic lazy build.
 func (d *Dynamic) SeedIndex(doc *store.Document, idx *structjoin.Index) {
-	d.indexes.seed(doc, idx)
+	d.base().indexes.seed(doc, idx)
 }
 
 // DocResolver resolves a document URI to its document node.
@@ -110,11 +169,23 @@ type DocResolver interface {
 }
 
 // DocRegistry is the default resolver: an in-memory URI->document map with
-// optional filesystem fallback.
+// optional filesystem fallback. Filesystem misses resolve outside the lock
+// with single-flight per URI, so concurrent fn:doc calls for different
+// documents proceed in parallel and concurrent calls for the same document
+// share one parse instead of racing to duplicate it.
 type DocRegistry struct {
 	mu    sync.Mutex
 	docs  map[string]xdm.Node
+	loads map[string]*docLoad
 	useFS bool
+}
+
+// docLoad is one in-flight filesystem load; waiters block on done and then
+// read node/err. Failed loads are not cached — the next caller retries.
+type docLoad struct {
+	done chan struct{}
+	node xdm.Node
+	err  error
 }
 
 // NewDocRegistry creates a registry. When allowFS is set, unknown URIs are
@@ -141,14 +212,42 @@ func (r *DocRegistry) AllowFilesystem(allow bool) {
 // Doc implements DocResolver.
 func (r *DocRegistry) Doc(uri string) (xdm.Node, error) {
 	r.mu.Lock()
-	d, ok := r.docs[uri]
-	r.mu.Unlock()
-	if ok {
+	if d, ok := r.docs[uri]; ok {
+		r.mu.Unlock()
 		return d, nil
 	}
 	if !r.useFS {
+		r.mu.Unlock()
 		return nil, xdm.Errf("FODC0002", "document %q not found", uri)
 	}
+	if l, ok := r.loads[uri]; ok {
+		// Another goroutine is already loading this URI: wait for it.
+		r.mu.Unlock()
+		<-l.done
+		return l.node, l.err
+	}
+	l := &docLoad{done: make(chan struct{})}
+	if r.loads == nil {
+		r.loads = make(map[string]*docLoad)
+	}
+	r.loads[uri] = l
+	r.mu.Unlock()
+
+	// Slow path outside the lock: unrelated URIs load concurrently.
+	l.node, l.err = loadDocFS(uri)
+
+	r.mu.Lock()
+	if l.err == nil {
+		r.docs[uri] = l.node
+	}
+	delete(r.loads, uri)
+	r.mu.Unlock()
+	close(l.done)
+	return l.node, l.err
+}
+
+// loadDocFS reads and parses one document from the local filesystem.
+func loadDocFS(uri string) (xdm.Node, error) {
 	f, err := os.Open(uri)
 	if err != nil {
 		return nil, xdm.Errf("FODC0002", "cannot open document %q: %v", uri, err)
@@ -158,27 +257,29 @@ func (r *DocRegistry) Doc(uri string) (xdm.Node, error) {
 	if err != nil {
 		return nil, xdm.Errf("FODC0002", "cannot parse document %q: %v", uri, err)
 	}
-	node := doc.RootNode()
-	r.Register(uri, node)
-	return node, nil
+	return doc.RootNode(), nil
 }
 
 func (d *Dynamic) resolver() DocResolver {
-	if d.Resolver == nil {
-		d.Resolver = NewDocRegistry(true)
+	b := d.base()
+	b.resolveMu.Lock()
+	defer b.resolveMu.Unlock()
+	if b.Resolver == nil {
+		b.Resolver = NewDocRegistry(true)
 	}
-	return d.Resolver
+	return b.Resolver
 }
 
 func (d *Dynamic) currentDateTime() xdm.Atomic {
-	d.once.Do(func() {
-		t := d.Now
+	b := d.base()
+	b.once.Do(func() {
+		t := b.Now
 		if t.IsZero() {
 			t = time.Now()
 		}
-		d.nowAtom = xdm.NewDateTime(t.UTC(), "")
+		b.nowAtom = xdm.NewDateTime(t.UTC(), "")
 	})
-	return d.nowAtom
+	return b.nowAtom
 }
 
 // Frame is one link of the binding-environment chain: it either binds a
@@ -216,6 +317,17 @@ func rootFrame(dyn *Dynamic) *Frame {
 // bind creates a child frame binding variable id to val.
 func (f *Frame) bind(id int, val *LazySeq) *Frame {
 	return &Frame{parent: f, dyn: f.dyn, id: id, val: val}
+}
+
+// withDyn re-roots a frame onto a worker context: a shallow head copy whose
+// dyn is w. Parent frames keep the original dyn, but only the head frame's
+// dyn is ever consulted during evaluation (bindings chain through parents,
+// the context does not), so this is how a morsel worker evaluates under a
+// caller-built binding environment.
+func (f *Frame) withDyn(w *Dynamic) *Frame {
+	cp := *f
+	cp.dyn = w
+	return &cp
 }
 
 // focus creates a child frame with a new focus.

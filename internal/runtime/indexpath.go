@@ -167,7 +167,7 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 		if !isStore {
 			return nil // handled by caller fallback — should not happen
 		}
-		idx, built := fr.dyn.indexes.indexFor(sn.D)
+		idx, built := fr.dyn.base().indexes.indexFor(sn.D)
 		if built {
 			fr.dyn.Prof.addIndexBuild()
 		} else {
@@ -188,25 +188,100 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 		}
 		for _, s := range chain[1:] {
 			fr.dyn.Prof.addStructJoin()
-			pairs := structjoin.StackTreeDesc(cur, idx.Elements(s.name), s.childOnly)
-			cur = structjoin.DistinctDescendants(pairs)
+			var err error
+			cur, err = joinDescMorsel(fr.dyn, cur, idx.Elements(s.name), s.childOnly)
+			if err != nil {
+				return errIter(err)
+			}
 			if len(cur) == 0 {
 				break
 			}
 		}
-		return &postingsIter{d: sn.D, list: cur}
+		return &postingsIter{d: sn.D, list: cur, dyn: fr.dyn}
 	}, true
 }
 
+// joinDescMorsel runs one structural-join step, splitting a large
+// descendant posting list into morsels joined by the worker pool. Each
+// chunk joins against the prefix of the ancestor list that can pair with it
+// (ancestors are Start-sorted; one starting after the chunk's last
+// descendant cannot contain anything in the chunk — UpperBoundStart), and
+// because the chunks partition a Start-sorted descendant list, the
+// per-chunk DistinctDescendants outputs are disjoint, each internally
+// sorted, and ordered across chunks: concatenating them by chunk index
+// reproduces the global result in document order.
+func joinDescMorsel(d *Dynamic, anc, desc structjoin.List, parentOnly bool) (structjoin.List, error) {
+	chunks := (len(desc) + joinMorselPostings - 1) / joinMorselPostings
+	if d == nil || d.Workers <= 1 || chunks < 2 {
+		return structjoin.DistinctDescendants(structjoin.StackTreeDesc(anc, desc, parentOnly)), nil
+	}
+	extra, release := d.leaseExtra(chunks - 1)
+	if extra == 0 {
+		return structjoin.DistinctDescendants(structjoin.StackTreeDesc(anc, desc, parentOnly)), nil
+	}
+	defer release()
+	parts, err := morselRound(d, extra, chunks, func(w *Dynamic, i int) (structjoin.List, error) {
+		lo := i * joinMorselPostings
+		hi := lo + joinMorselPostings
+		if hi > len(desc) {
+			hi = len(desc)
+		}
+		dchunk := desc[lo:hi]
+		if err := w.CheckInterruptN(len(dchunk)); err != nil {
+			return nil, err
+		}
+		achunk := anc[:structjoin.UpperBoundStart(anc, dchunk[len(dchunk)-1].Region.Start)]
+		return structjoin.DistinctDescendants(structjoin.StackTreeDesc(achunk, dchunk, parentOnly)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(structjoin.List, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
 // postingsIter feeds the nodes of a structural-join result list, a whole
-// batch per pull.
+// batch per pull. With morsel workers configured, batch pulls upgrade to
+// parallel feed rounds: chunk i of a round fills its own sub-slice of one
+// preallocated output — index-tagged stitching that needs no reordering.
+// Deliberately no remaining() (sizedIter): materializing the feed is the
+// work being measured, and an O(1) fn:count over it would misreport the
+// join's cost.
 type postingsIter struct {
 	d    *store.Document
 	list structjoin.List
 	pos  int
+	dyn  *Dynamic // morsel upgrade for batch pulls; nil stays sequential
+
+	out []xdm.Item // pending stitched output of the last parallel round
+	oi  int
+}
+
+func (p *postingsIter) serve(buf []xdm.Item) int {
+	n := copy(buf, p.out[p.oi:])
+	p.oi += n
+	if p.oi >= len(p.out) {
+		p.out, p.oi = nil, 0
+	}
+	return n
 }
 
 func (p *postingsIter) Next() (xdm.Item, bool, error) {
+	if p.oi < len(p.out) {
+		it := p.out[p.oi]
+		p.oi++
+		if p.oi >= len(p.out) {
+			p.out, p.oi = nil, 0
+		}
+		return it, true, nil
+	}
 	if p.pos >= len(p.list) {
 		return nil, false, nil
 	}
@@ -217,6 +292,14 @@ func (p *postingsIter) Next() (xdm.Item, bool, error) {
 
 // NextBatch implements BatchIter.
 func (p *postingsIter) NextBatch(buf []xdm.Item) (int, error) {
+	if p.oi < len(p.out) {
+		return p.serve(buf), nil
+	}
+	if ran, err := p.feedRound(); err != nil {
+		return 0, err
+	} else if ran && p.oi < len(p.out) {
+		return p.serve(buf), nil
+	}
 	n := 0
 	for n < len(buf) && p.pos < len(p.list) {
 		buf[n] = p.d.Node(p.list[p.pos].ID)
@@ -224,4 +307,45 @@ func (p *postingsIter) NextBatch(buf []xdm.Item) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// feedRound materializes the next slice of the posting list with the worker
+// pool, when a pool is configured and enough postings remain to matter.
+func (p *postingsIter) feedRound() (bool, error) {
+	rem := len(p.list) - p.pos
+	chunks := (rem + feedMorselPostings - 1) / feedMorselPostings
+	if p.dyn == nil || p.dyn.Workers <= 1 || chunks < 2 {
+		return false, nil
+	}
+	extra, release := p.dyn.leaseExtra(chunks - 1)
+	if extra == 0 {
+		return false, nil
+	}
+	defer release()
+	if max := (extra + 1) * feedRoundChunks; chunks > max {
+		chunks = max
+	}
+	base := p.pos
+	count := chunks * feedMorselPostings
+	if count > rem {
+		count = rem
+	}
+	out := make([]xdm.Item, count)
+	_, err := morselRound(p.dyn, extra, chunks, func(w *Dynamic, i int) (struct{}, error) {
+		lo := i * feedMorselPostings
+		hi := lo + feedMorselPostings
+		if hi > count {
+			hi = count
+		}
+		for j := lo; j < hi; j++ {
+			out[j] = p.d.Node(p.list[base+j].ID)
+		}
+		return struct{}{}, w.CheckInterruptN(hi - lo)
+	})
+	p.pos = base + count
+	if err != nil {
+		return true, err
+	}
+	p.out, p.oi = out, 0
+	return true, nil
 }

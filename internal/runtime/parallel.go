@@ -20,6 +20,12 @@ import (
 // forcing shared bindings may evaluate a variable an entirely lazy engine
 // would have skipped. XQuery's non-deterministic error semantics permit
 // this; Parallel is opt-in.
+//
+// Each branch runs on a forked Dynamic (private interrupt counter, buffer
+// pool, profile shard — see morsel.go) whose interrupt hook also watches
+// the group's first error, so one failed or panicked branch cancels its
+// siblings within an interrupt stride instead of holding the request until
+// every branch finishes on its own.
 
 // parallelMinWeight is the minimum expression-tree size of a branch worth a
 // goroutine.
@@ -69,20 +75,28 @@ func (c *compiler) compileParallelSeq(n *expr.Seq, fns []seqFn) (seqFn, bool) {
 		}
 		results := make([]xdm.Sequence, len(fns))
 		errs := make([]error, len(fns))
+		var g groupErr
 		var wg sync.WaitGroup
 		for i, fn := range fns {
 			wg.Add(1)
 			go func(i int, fn seqFn) {
 				defer wg.Done()
+				// LIFO: recoverXQ converts a panic to errs[i] first, then the
+				// error publishes to the group so siblings stop early.
+				defer func() { g.set(errs[i]) }()
 				defer recoverXQ(&errs[i])
-				results[i], errs[i] = dr(fr, fn(fr))
+				w := fr.dyn.forkFor(&g)
+				wfr := fr.withDyn(w)
+				results[i], errs[i] = dr(wfr, fn(wfr))
+				fr.dyn.Prof.foldShard(w.Prof)
 			}(i, fn)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return errIter(err)
-			}
+		// Report the first published error: a branch aborted by sibling
+		// cancellation carries the group error anyway, so this is the error
+		// of the branch that actually failed.
+		if err := g.load(); err != nil {
+			return errIter(err)
 		}
 		var out xdm.Sequence
 		for _, r := range results {

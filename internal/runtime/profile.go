@@ -253,6 +253,41 @@ func (p *Profile) AddStreamFallback() {
 // (streamexec batches its output-token accounting through this).
 func (p *Profile) AddXMLTokens(n int64) { p.addXMLTokens(n) }
 
+// shard creates a per-worker slice of this profile for morsel execution:
+// the same operator table with private counter rows, so parallel workers
+// never contend on the parent's cache lines. Fold the shard back with
+// foldShard when the worker retires. Nil-safe: a nil profile shards to nil,
+// keeping profiling free when off.
+func (p *Profile) shard() *Profile {
+	if p == nil {
+		return nil
+	}
+	return &Profile{timed: p.timed, infos: p.infos, ops: make([]opCounters, len(p.ops))}
+}
+
+// foldShard folds a worker shard created by shard back into this profile.
+// Unlike the cross-plan Merge, a shard shares this profile's plan and hence
+// its operator ids, so operator rows add row-wise; engine-wide counters
+// fold through Merge (which max-merges the stream buffer peak).
+func (p *Profile) foldShard(sh *Profile) {
+	if p == nil || sh == nil {
+		return
+	}
+	for i := range sh.ops {
+		o := &sh.ops[i]
+		if v := o.starts.Load(); v != 0 {
+			p.ops[i].starts.Add(v)
+		}
+		if v := o.items.Load(); v != 0 {
+			p.ops[i].items.Add(v)
+		}
+		if v := o.nanos.Load(); v != 0 {
+			p.ops[i].nanos.Add(v)
+		}
+	}
+	p.Merge(sh.Report().Counters)
+}
+
 // Merge folds another execution's engine-wide counter totals into this
 // profile. Operator rows cannot merge across profiles — operator ids are
 // plan-specific — so only the CounterReport section transfers; the buffer

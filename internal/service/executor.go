@@ -22,6 +22,7 @@ type Executor struct {
 	admitted atomic.Int64  // executing + queued
 	limit    int64         // workers + queue
 	inFlight atomic.Int64  // currently executing
+	leased   atomic.Int64  // worker slots on loan to morsel workers
 }
 
 // NewExecutor creates a pool of the given size. workers < 1 defaults to 1;
@@ -64,6 +65,50 @@ func (e *Executor) Do(ctx context.Context, fn func() error) error {
 
 // InFlight returns the number of currently executing requests.
 func (e *Executor) InFlight() int64 { return e.inFlight.Load() }
+
+// TryLease implements xqgo.WorkerLimiter: a running query borrows up to n
+// idle worker slots for one morsel round. Grants are strictly best-effort
+// and never starve admission — nothing is granted while requests wait in
+// the queue, and each grab is non-blocking, so a grant can only take slots
+// no queued request was waiting for at that instant. The query's own
+// goroutine (already holding a request slot) is its guaranteed minimum of
+// one worker regardless of what this returns.
+func (e *Executor) TryLease(n int) int {
+	granted := 0
+	for granted < n {
+		if e.Queued() > 0 {
+			break
+		}
+		select {
+		case e.slots <- struct{}{}:
+			granted++
+		default:
+			return e.noteLeased(granted)
+		}
+	}
+	return e.noteLeased(granted)
+}
+
+func (e *Executor) noteLeased(n int) int {
+	if n > 0 {
+		e.leased.Add(int64(n))
+	}
+	return n
+}
+
+// Release implements xqgo.WorkerLimiter, returning slots taken by TryLease.
+func (e *Executor) Release(n int) {
+	for i := 0; i < n; i++ {
+		<-e.slots
+	}
+	if n > 0 {
+		e.leased.Add(int64(-n))
+	}
+}
+
+// Leased returns the number of worker slots currently on loan to morsel
+// workers of running queries.
+func (e *Executor) Leased() int64 { return e.leased.Load() }
 
 // Queued returns the number of requests waiting for a worker slot.
 func (e *Executor) Queued() int64 {

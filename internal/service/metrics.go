@@ -119,6 +119,10 @@ func (s *Service) writeMetrics(w io.Writer, exemplars bool) {
 	fmt.Fprintf(w, "xqd_queued_requests %d\n", s.exec.Queued())
 	gauge("xqd_worker_slots", "Configured executor worker slots.")
 	fmt.Fprintf(w, "xqd_worker_slots %d\n", s.exec.Workers())
+	gauge("xqd_leased_workers", "Worker slots on loan to morsel workers of running queries.")
+	fmt.Fprintf(w, "xqd_leased_workers %d\n", s.exec.Leased())
+	gauge("xqd_query_workers", "Configured per-query morsel-parallelism target (0 = off).")
+	fmt.Fprintf(w, "xqd_query_workers %d\n", s.cfg.QueryWorkers)
 
 	gauge("xqd_plan_cache_size", "Compiled plans currently cached.")
 	fmt.Fprintf(w, "xqd_plan_cache_size %d\n", pc.Size)

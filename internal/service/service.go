@@ -53,6 +53,15 @@ type Config struct {
 	// feeds do not occupy executor worker slots — they are long-lived and
 	// would starve the query pool.
 	MaxSubscribers int
+	// QueryWorkers sets the morsel-parallelism target per query: up to this
+	// many workers (including the request's own goroutine) cooperate on
+	// large scans, joins and FLWOR pipelines of one execution. 0 disables
+	// intra-query parallelism (the default); negative means GOMAXPROCS.
+	// Extra workers are leased round by round from the executor's idle
+	// request slots, so a heavy query soaks up spare capacity but a busy
+	// service automatically degrades to one worker per query, and nothing
+	// is ever granted while requests wait in the admission queue.
+	QueryWorkers int
 	// DisableTracing turns off the per-request span capture that feeds
 	// GET /traces, slow-log trace links and /metrics exemplars. Requests
 	// carrying their own Request.Trace are still honored.
@@ -92,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSubscribers <= 0 {
 		c.MaxSubscribers = 64
+	}
+	if c.QueryWorkers < 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -474,6 +486,11 @@ func (s *Service) buildContext(req Request) (*xqgo.Context, error) {
 		if req.StreamMode {
 			qctx.WithStreamMode(true)
 		}
+	}
+	if s.cfg.QueryWorkers > 1 {
+		// Morsel workers lease idle request slots from the executor, so
+		// intra-query parallelism shares one budget with admission control.
+		qctx.WithWorkers(s.cfg.QueryWorkers).WithWorkerLimiter(s.exec)
 	}
 	return qctx, nil
 }

@@ -231,6 +231,113 @@ func TestExecutorDeadlineWhileQueued(t *testing.T) {
 	}
 }
 
+func TestExecutorWorkerLease(t *testing.T) {
+	e := NewExecutor(4, 2)
+
+	// Idle pool: leases grant up to every worker slot, accounted in Leased.
+	if got := e.TryLease(10); got != 4 {
+		t.Fatalf("idle TryLease(10) = %d, want 4", got)
+	}
+	if e.Leased() != 4 {
+		t.Fatalf("Leased = %d, want 4", e.Leased())
+	}
+	if got := e.TryLease(1); got != 0 {
+		t.Fatalf("exhausted TryLease = %d, want 0", got)
+	}
+	e.Release(4)
+	if e.Leased() != 0 {
+		t.Fatalf("Leased after release = %d, want 0", e.Leased())
+	}
+
+	// Requests in flight shrink what a lease can take.
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Do(context.Background(), func() error {
+				started <- struct{}{}
+				<-release
+				return nil
+			})
+		}()
+	}
+	<-started
+	<-started
+	if got := e.TryLease(10); got != 2 {
+		t.Errorf("TryLease with 2 in flight = %d, want 2", got)
+	} else {
+		e.Release(got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestExecutorLeaseRefusedWhileQueued(t *testing.T) {
+	e := NewExecutor(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Do(context.Background(), func() error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Do(context.Background(), func() error { return nil })
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With a request waiting, morsel leases get nothing — queued work wins.
+	if got := e.TryLease(1); got != 0 {
+		t.Errorf("TryLease while queued = %d, want 0", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestServiceQueryWorkers(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueryWorkers: 4})
+	res, err := s.Query(context.Background(), Request{
+		Query:      "count(//*)",
+		ContextDoc: "bib",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XML != "10" {
+		t.Errorf("result = %q, want 10", res.XML)
+	}
+	st := s.Stats()
+	if st.QueryWorkers != 4 {
+		t.Errorf("stats queryWorkers = %d, want 4", st.QueryWorkers)
+	}
+	if st.LeasedWorkers != 0 {
+		t.Errorf("stats leasedWorkers = %d after drain, want 0", st.LeasedWorkers)
+	}
+
+	// Negative QueryWorkers resolves to GOMAXPROCS.
+	s2 := New(Config{QueryWorkers: -1})
+	if s2.cfg.QueryWorkers < 1 {
+		t.Errorf("QueryWorkers -1 resolved to %d, want >= 1", s2.cfg.QueryWorkers)
+	}
+}
+
 func TestServiceQueryAndVars(t *testing.T) {
 	s := newTestService(t, Config{})
 	res, err := s.Query(context.Background(), Request{

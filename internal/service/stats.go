@@ -296,8 +296,13 @@ type Snapshot struct {
 	Documents   DocTotals               `json:"documents"`
 	UptimeSecs  float64                 `json:"uptimeSecs"`
 	WorkerSlots int                     `json:"workerSlots"`
-	Engine      engineTotals            `json:"engine"`
-	SlowQueries uint64                  `json:"slowQueries"`
+	// LeasedWorkers is the number of worker slots currently on loan to
+	// morsel workers of running queries; QueryWorkers is the configured
+	// per-query parallelism target (0 = intra-query parallelism off).
+	LeasedWorkers int64        `json:"leasedWorkers"`
+	QueryWorkers  int          `json:"queryWorkers"`
+	Engine        engineTotals `json:"engine"`
+	SlowQueries   uint64       `json:"slowQueries"`
 	// Subscriptions aggregates the pub/sub layer (POST /subscribe).
 	Subscriptions SubscriptionTotals `json:"subscriptions"`
 }
@@ -363,10 +368,12 @@ func (s *Service) Stats() Snapshot {
 		Routes:      routes,
 		PlanCache:   s.plans.Stats(),
 		Documents:   DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
-		UptimeSecs:  time.Since(start).Seconds(),
-		WorkerSlots: s.exec.Workers(),
-		Engine:      engine,
-		SlowQueries: slowTotal,
+		UptimeSecs:    time.Since(start).Seconds(),
+		WorkerSlots:   s.exec.Workers(),
+		LeasedWorkers: s.exec.Leased(),
+		QueryWorkers:  s.cfg.QueryWorkers,
+		Engine:        engine,
+		SlowQueries:   slowTotal,
 		Subscriptions: SubscriptionTotals{
 			ActiveFeeds:     s.subs.active.Load(),
 			Feeds:           s.subs.feeds.Load(),

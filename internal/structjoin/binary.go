@@ -147,6 +147,24 @@ func DistinctDescendants(pairs []Pair) List {
 	return dedup
 }
 
+// UpperBoundStart returns the number of leading postings in the
+// Start-sorted list l whose Region.Start is <= start. Morsel-partitioned
+// joins use it to prune the ancestor list per descendant chunk: an ancestor
+// can only contain descendants that start after it, so ancestors starting
+// past the chunk's last descendant cannot pair with anything in the chunk.
+func UpperBoundStart(l List, start int64) int {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].Region.Start <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // DistinctAncestors projects to distinct ancestors (document order).
 func DistinctAncestors(pairs []Pair) List {
 	seen := map[int32]bool{}

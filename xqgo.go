@@ -398,6 +398,37 @@ func (c *Context) WithProfile(p *Profile) *Context {
 	return c
 }
 
+// WorkerLimiter arbitrates extra intra-query (morsel) workers against a
+// shared slot pool; see Context.WithWorkers. TryLease grants between 0 and
+// n extra workers without blocking, Release returns them. Implementations
+// must be safe for concurrent use.
+type WorkerLimiter = runtime.WorkerLimiter
+
+// WithWorkers sets the morsel-parallelism target for executions under this
+// context: up to n workers — including the pulling goroutine — cooperate on
+// large path-step scans, structural joins, and FLWOR for/where tuple
+// pipelines, with results stitched back in document order. n <= 1 (the
+// default) keeps execution fully sequential. Workers beyond the first are
+// leased round by round from the limiter (WithWorkerLimiter; a process-wide
+// GOMAXPROCS pool by default) and are best-effort: a query always makes
+// progress on its own goroutine — the guaranteed minimum of one — and
+// simply runs sequentially when no slots are idle. Results and their order
+// are identical to sequential execution; like Options.Parallel, errors may
+// surface from bindings a fully lazy evaluation would have skipped.
+func (c *Context) WithWorkers(n int) *Context {
+	c.dyn.Workers = n
+	return c
+}
+
+// WithWorkerLimiter installs the slot source extra morsel workers are
+// leased from; nil restores the default process-wide pool. The service
+// layer passes its admission executor here, so a heavy query soaks up idle
+// request slots without ever starving the service queue.
+func (c *Context) WithWorkerLimiter(l WorkerLimiter) *Context {
+	c.dyn.Limiter = l
+	return c
+}
+
 // SeedIndex pre-populates the structural-join index cache for d with an
 // already built index (see structjoin.BuildIndex), so executions compiled
 // with UseStructuralJoins share one index instead of each building their
