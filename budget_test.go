@@ -1,0 +1,161 @@
+package xqgo_test
+
+// Per-query memory budgets: a capped execution over a streamed input must
+// fail with the structured XQGO0001 error — not OOM — while uncapped
+// executions of the same plan, running concurrently, are unaffected.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"xqgo"
+)
+
+func TestMemoryBudgetTripsOnStreamedMaterialization(t *testing.T) {
+	doc := ordersXML(5000)
+	q := xqgo.MustCompile(`count(/Order/OrderLine)`, nil)
+
+	ctx := xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed").
+		WithMemoryBudget(16 << 10)
+	_, err := q.EvalString(ctx)
+	if err == nil {
+		t.Fatal("16KiB budget over a multi-MB materialization did not trip")
+	}
+	var be *xqgo.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v (%T), want *BudgetExceededError in the chain", err, err)
+	}
+	if be.Limit != 16<<10 {
+		t.Errorf("BudgetError.Limit = %d, want %d", be.Limit, 16<<10)
+	}
+	if !strings.Contains(err.Error(), "XQGO0001") {
+		t.Errorf("error %q does not carry the structured code", err)
+	}
+}
+
+func TestMemoryBudgetGenerousCapDoesNotTrip(t *testing.T) {
+	doc := ordersXML(200)
+	q := xqgo.MustCompile(`count(/Order/OrderLine)`, nil)
+
+	want, err := q.EvalString(xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed").
+		WithMemoryBudget(1 << 30)
+	got, err := q.EvalString(ctx)
+	if err != nil {
+		t.Fatalf("budgeted run under a generous cap: %v", err)
+	}
+	if got != want {
+		t.Errorf("budgeted result %q != unbudgeted %q", got, want)
+	}
+	if ctx.Budget().Peak() == 0 {
+		t.Error("budget saw no charges — hot paths are not wired")
+	}
+}
+
+func TestMemoryBudgetConcurrentQueriesUnaffected(t *testing.T) {
+	doc := ordersXML(2000)
+	q := xqgo.MustCompile(`count(/Order/OrderLine)`, nil)
+
+	want, err := q.EvalString(xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	outs := make([]string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := xqgo.NewContext().
+				WithStreamingInput(strings.NewReader(doc), "mem:feed")
+			if i%2 == 0 {
+				ctx.WithMemoryBudget(8 << 10) // trips
+			}
+			outs[i], errs[i] = q.EvalString(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		var be *xqgo.BudgetExceededError
+		if i%2 == 0 {
+			if !errors.As(errs[i], &be) {
+				t.Errorf("budgeted run %d: err = %v, want budget error", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("unbudgeted run %d poisoned by sibling budgets: %v", i, errs[i])
+		} else if outs[i] != want {
+			t.Errorf("unbudgeted run %d: %q, want %q", i, outs[i], want)
+		}
+	}
+}
+
+func TestGovernedBudgetReleasedAfterQuery(t *testing.T) {
+	gov := xqgo.NewMemoryGovernor(1 << 30)
+	b := gov.Governed(0) // track, never trip
+	doc := ordersXML(500)
+	q := xqgo.MustCompile(`count(/Order/OrderLine)`, nil)
+
+	ctx := xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed").
+		WithBudget(b)
+	if _, err := q.EvalString(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if gov.InUse() == 0 {
+		t.Error("governor saw no live bytes during the query")
+	}
+	b.ReleaseAll()
+	if got := gov.InUse(); got != 0 {
+		t.Errorf("governor InUse after ReleaseAll = %d, want 0", got)
+	}
+	if b.Peak() == 0 {
+		t.Error("budget peak is zero — nothing was charged")
+	}
+}
+
+func TestWithMemoryBudgetNonPositiveClears(t *testing.T) {
+	ctx := xqgo.NewContext().WithMemoryBudget(100)
+	if ctx.Budget() == nil {
+		t.Fatal("budget not attached")
+	}
+	ctx.WithMemoryBudget(0)
+	if ctx.Budget() != nil {
+		t.Fatal("WithMemoryBudget(0) should detach the budget")
+	}
+}
+
+// The serializer path: a budgeted streamed execution that trips mid-write
+// must stop producing output promptly rather than streaming the full result.
+func TestMemoryBudgetStopsExecution(t *testing.T) {
+	doc := ordersXML(5000)
+	q := xqgo.MustCompile(`/Order/OrderLine/Item/ID`, nil)
+	var buf bytes.Buffer
+	ctx := xqgo.NewContext().
+		WithStreamingInput(strings.NewReader(doc), "mem:feed").
+		WithMemoryBudget(16 << 10)
+	err := q.Execute(ctx, &buf)
+	if err == nil {
+		t.Fatal("expected budget trip")
+	}
+	var be *xqgo.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v, want budget error", err)
+	}
+	if int64(buf.Len()) > 1<<20 {
+		t.Errorf("wrote %d bytes after a 16KiB budget trip", buf.Len())
+	}
+}

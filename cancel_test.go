@@ -1,0 +1,67 @@
+package xqgo_test
+
+// Context cancellation during streamed ingestion: an execution blocked on
+// Body.Read must unblock when its context is canceled, and the abort must
+// surface as the cancellation error — not get dressed up as a parse error.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"xqgo"
+	"xqgo/internal/leakcheck"
+)
+
+func TestStreamedIngestionCancelUnblocksPendingRead(t *testing.T) {
+	leakcheck.Check(t)
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	q := xqgo.MustCompile(`count(/Order/OrderLine)`, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		c := xqgo.NewContext().WithStreamingInput(pr, "mem:feed")
+		_, err := q.EvalContext(ctx, c)
+		done <- err
+	}()
+
+	// Feed a partial document so the parse genuinely starts, then stall:
+	// the execution is now blocked inside a Read on a silent producer.
+	if _, err := pw.Write([]byte(`<Order><OrderLine><SellersID>1</SellersID>`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled streamed execution returned %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("execution still blocked on the streamed input after cancel")
+	}
+}
+
+func TestStreamedIngestionDeadlineSurfacesAsDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	q := xqgo.MustCompile(`count(/r/x)`, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// Feed a partial document from aside (a pipe write blocks until the
+	// evaluation reads it), then go silent so the deadline expires mid-read.
+	go func() { _, _ = pw.Write([]byte(`<r><x/>`)) }()
+	c := xqgo.NewContext().WithStreamingInput(pr, "mem:feed")
+	_, err := q.EvalContext(ctx, c)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired streamed execution returned %v, want context.DeadlineExceeded in the chain", err)
+	}
+}

@@ -43,6 +43,11 @@ type benchReport struct {
 	// stage spans (no profile), and profiled with/without a trace (full
 	// per-operator span synthesis). CI gates on the on/off ratios.
 	TraceOverhead []benchRow `json:"traceOverhead"`
+	// Governance holds the resource-governance overhead comparison: the
+	// same query run ungoverned and with a generous per-query memory budget
+	// attached (charging every hot path, never tripping). CI gates on the
+	// on/off ratio staying within 3%.
+	Governance []govRow `json:"governance"`
 	// NumCPU records the machine's logical CPU count: the worker-scaling
 	// speedup gate only applies where the hardware can actually express it.
 	NumCPU int `json:"numCPU"`
@@ -61,6 +66,16 @@ type scalingRow struct {
 	Workers int     `json:"workers"`
 	NsPerOp int64   `json:"nsPerOp"`
 	Speedup float64 `json:"speedup"`
+}
+
+// govRow is one governance-overhead measurement: the identical run without
+// and with a never-tripping budget charged along every hot path. Overhead is
+// the median of per-rep on/off ratios.
+type govRow struct {
+	Name     string  `json:"name"`
+	OffNs    int64   `json:"offNsPerOp"`
+	OnNs     int64   `json:"onNsPerOp"`
+	Overhead float64 `json:"overhead"`
 }
 
 // streamEvalRow is one streaming-evaluator measurement.
@@ -479,6 +494,80 @@ func (r *runner) runJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "xqbench: %-28s %12d ns/op\n", m.name, best)
 	}
 
+	// Governance overhead: the same work ungoverned versus with a generous
+	// per-query memory budget attached — every hot path charges it (store
+	// growth, batch pools, FLWOR rounds, output), but the cap never trips,
+	// so the rows time pure accounting cost. Two shapes: the paper query
+	// over an in-store document (batch/FLWOR charging) and a streamed count
+	// (per-increment parse charging, the tightest loop). Interleaved per-rep
+	// ratios, gated at the median, like the trace rows.
+	govCases := []struct {
+		name string
+		run  func(budget bool)
+	}{
+		{"governance/paper-query-store", func(budget bool) {
+			ctx := ctxFor(orders)
+			if budget {
+				ctx.WithMemoryBudget(1 << 40)
+			}
+			mustEval(stream, ctx)
+		}},
+		{"governance/streamed-count", func(budget bool) {
+			ctx := xqgo.NewContext().WithStreamingInput(bytes.NewReader(traceXML), "bench:orders")
+			if budget {
+				ctx.WithMemoryBudget(1 << 40)
+			}
+			if err := countQ.Execute(ctx, io.Discard); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	govReps := r.reps
+	if govReps < 7 {
+		govReps = 7
+	}
+	worstGov := 0.0
+	for _, c := range govCases {
+		offs := make([]time.Duration, 0, govReps)
+		ons := make([]time.Duration, 0, govReps)
+		for rep := 0; rep < govReps; rep++ {
+			// Alternate which side runs first so neither always absorbs
+			// the other's GC debt.
+			first := rep%2 == 0
+			for _, budget := range []bool{first, !first} {
+				t0 := time.Now()
+				c.run(budget)
+				d := time.Since(t0)
+				if budget {
+					ons = append(ons, d)
+				} else {
+					offs = append(offs, d)
+				}
+			}
+		}
+		overhead := medianRatio(ons, offs)
+		if overhead > worstGov {
+			worstGov = overhead
+		}
+		offMin, onMin := offs[0], ons[0]
+		for k := 1; k < govReps; k++ {
+			if offs[k] < offMin {
+				offMin = offs[k]
+			}
+			if ons[k] < onMin {
+				onMin = ons[k]
+			}
+		}
+		rep.Governance = append(rep.Governance, govRow{
+			Name:     c.name,
+			OffNs:    offMin.Nanoseconds(),
+			OnNs:     onMin.Nanoseconds(),
+			Overhead: overhead,
+		})
+		fmt.Fprintf(os.Stderr, "xqbench: %-28s off %10d ns/op  governed %10d ns/op  overhead %.3fx\n",
+			c.name, offMin.Nanoseconds(), onMin.Nanoseconds(), overhead)
+	}
+
 	// Morsel worker scaling: the three parallelized loop families (path-step
 	// range scans, structural-join postings feeds, FLWOR tuple pipelines)
 	// each swept over 1/2/4/8 workers against a no-workers baseline, on a
@@ -646,6 +735,12 @@ func (r *runner) runJSON(path string) error {
 			return fmt.Errorf("worker overhead regression: %s at 1 worker median %.3fx over baseline (min %d vs %d ns/op)",
 				c.name, med, oneWorkerNs[i], scaleNs[i][0])
 		}
+	}
+	// Governance gate: charging a never-tripping budget along every hot
+	// path may cost at most 3% over the ungoverned run (medians of
+	// interleaved per-rep ratios, so CI load drift cancels out).
+	if worstGov > 1.03 {
+		return fmt.Errorf("governance overhead regression: worst governed/ungoverned median %.3fx > 1.03x", worstGov)
 	}
 	if rep.NumCPU >= 8 && joinSpeedup8 < 3.0 {
 		return fmt.Errorf("worker scaling regression: path/descendant-structjoin at 8 workers %.2fx < 3x over 1 worker",

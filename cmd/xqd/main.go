@@ -50,6 +50,8 @@ func main() {
 		planCache = flag.Int("plan-cache", 256, "compiled-plan LRU capacity")
 		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxResult = flag.Int64("max-result-bytes", 32<<20, "per-request serialized result cap (-1 = unlimited)")
+		maxQuery  = flag.Int64("max-query-bytes", 0, "per-query tracked-memory budget in bytes; overage fails the query with err:XQGO0001 (0 = unlimited)")
+		maxProc   = flag.Int64("max-process-bytes", 0, "process memory soft cap in bytes: sets the Go runtime soft limit and sheds new work with 503 when tracked bytes near it (0 = unlimited)")
 		joins     = flag.Bool("joins", false, "evaluate //a//b chains with structural joins over shared catalog indexes")
 		memo      = flag.Bool("memo", false, "memoize pure user-function calls within each execution")
 		stripWS   = flag.Bool("strip-ws", false, "drop whitespace-only text nodes when parsing documents")
@@ -89,19 +91,21 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:            *workers,
-		QueryWorkers:       *qWorkers,
-		QueueDepth:         *queue,
-		PlanCacheSize:      *planCache,
-		DefaultTimeout:     *timeout,
-		MaxResultBytes:     *maxResult,
-		SlowQueryThreshold: *slowAfter,
-		SlowLogSize:        *slowSize,
-		DisableProfiling:   *noProf,
-		MaxSubscriptions:   *maxSubs,
-		MaxSubscribers:     *maxFeeds,
-		DisableTracing:     *noTrace,
-		TraceRingSize:      *traceRing,
+		Workers:               *workers,
+		QueryWorkers:          *qWorkers,
+		QueueDepth:            *queue,
+		PlanCacheSize:         *planCache,
+		DefaultTimeout:        *timeout,
+		MaxResultBytes:        *maxResult,
+		MaxQueryBytes:         *maxQuery,
+		ProcessSoftLimitBytes: *maxProc,
+		SlowQueryThreshold:    *slowAfter,
+		SlowLogSize:           *slowSize,
+		DisableProfiling:      *noProf,
+		MaxSubscriptions:      *maxSubs,
+		MaxSubscribers:        *maxFeeds,
+		DisableTracing:        *noTrace,
+		TraceRingSize:         *traceRing,
 		Options: xqgo.Options{
 			UseStructuralJoins: *joins,
 			MemoizeFunctions:   *memo,

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Fire(ParserRead); err != nil {
+		t.Fatalf("disarmed Fire: %v", err)
+	}
+}
+
+func TestFireDefaultInjectedError(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(StoreAbort, Fault{})
+	err := Fire(StoreAbort)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != StoreAbort {
+		t.Fatalf("Fire = %v, want *InjectedError at %q", err, StoreAbort)
+	}
+	if got := Hits(StoreAbort); got != 1 {
+		t.Errorf("Hits = %d, want 1", got)
+	}
+}
+
+func TestFireCustomError(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	Enable(ParserRead, Fault{Err: boom})
+	if err := Fire(ParserRead); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Skip the first 2 firings, then fire exactly once.
+	Enable(SSEWrite, Fault{After: 2, Count: 1})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Fire(SSEWrite) != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+	if got := Hits(SSEWrite); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+}
+
+func TestDelayOnlyFaultReturnsNil(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SSESlow, Fault{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := Fire(SSESlow); err != nil {
+		t.Fatalf("delay-only Fire = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("Fire returned after %v, want >= 5ms", elapsed)
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(MorselPanic, Fault{PanicValue: "chaos"})
+	defer func() {
+		if r := recover(); r != "chaos" {
+			t.Errorf("recovered %v, want chaos", r)
+		}
+	}()
+	FirePanic(MorselPanic)
+	t.Fatal("FirePanic did not panic")
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	Enable(ParserRead, Fault{})
+	Enable(StoreAbort, Fault{})
+	Disable(ParserRead)
+	if err := Fire(ParserRead); err != nil {
+		t.Errorf("disabled point fired: %v", err)
+	}
+	if err := Fire(StoreAbort); err == nil {
+		t.Error("still-enabled point did not fire")
+	}
+	Reset()
+	if err := Fire(StoreAbort); err != nil {
+		t.Errorf("Fire after Reset: %v", err)
+	}
+}
+
+func TestPointsRegistry(t *testing.T) {
+	pts := Points()
+	if len(pts) < 6 {
+		t.Fatalf("Points() = %d entries, want >= 6", len(pts))
+	}
+	seen := map[Point]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Errorf("duplicate point %q", p)
+		}
+		seen[p] = true
+	}
+	for _, want := range []Point{ParserRead, FeedTruncate, StoreAbort, MorselPanic, WindowPanic, SSEWrite, SSESlow, DocLoadPanic} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}

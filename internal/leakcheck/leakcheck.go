@@ -1,0 +1,77 @@
+// Package leakcheck asserts that tests do not leak engine goroutines,
+// using only runtime.Stack snapshots — no external dependencies. A
+// goroutine counts as ours when its stack mentions the module's packages
+// (import path prefix "xqgo"), so unrelated runtime/netpoll goroutines
+// never trip the check.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current xqgo goroutine count and registers a
+// cleanup that fails the test if more are still running at the end.
+// Goroutines winding down get a grace window before the check fails.
+func Check(t testing.TB) {
+	t.Helper()
+	base := Count()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if Count() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d xqgo goroutines at start, %d still running\n%s",
+			base, Count(), strings.Join(engineStacks(), "\n\n"))
+	})
+}
+
+// Count returns the number of running goroutines attributable to xqgo
+// code.
+func Count() int { return len(engineStacks()) }
+
+func engineStacks() []string {
+	var out []string
+	for _, s := range stacks() {
+		if interesting(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// interesting reports whether a goroutine stack belongs to the engine.
+// The test harness's own goroutines (tRunner, fuzz workers) and this
+// package's snapshots are excluded even though they may transitively
+// mention xqgo frames.
+func interesting(stack string) bool {
+	if stack == "" ||
+		strings.Contains(stack, "leakcheck.") ||
+		strings.Contains(stack, "testing.tRunner") ||
+		strings.Contains(stack, "testing.runFuzzing") ||
+		strings.Contains(stack, "testing.(*F)") {
+		return false
+	}
+	return strings.Contains(stack, "xqgo")
+}
+
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return strings.Split(string(buf), "\n\n")
+}

@@ -68,6 +68,16 @@ func drainBatched(dyn *Dynamic, it Iter) (xdm.Sequence, error) {
 	out := make(xdm.Sequence, 0, batchSize)
 	for {
 		if len(out) == cap(out) {
+			// Budget the doubling once a single drain grows past the floor:
+			// large materializations are the OOM risk, while the many small
+			// transient drains of ordinary evaluation stay free (charging
+			// them would count total allocation, not retained bytes, and
+			// false-trip long-running queries).
+			if cap(out) >= budgetDrainFloor {
+				if err := dyn.Budget.Charge(int64(cap(out)) * budgetItemBytes); err != nil {
+					return nil, err
+				}
+			}
 			grown := make(xdm.Sequence, len(out), 2*cap(out))
 			copy(grown, out)
 			out = grown
@@ -96,6 +106,15 @@ const batchSize = 128
 // a large sequence, so interrupt polls stay reasonably frequent.
 const maxBatch = 4096
 
+// budgetItemBytes is the charged estimate per retained sequence slot: the
+// two-word interface header. The items' own payloads are charged where
+// they are built (store nodes at parse time, window buffers by byte).
+const budgetItemBytes = 16
+
+// budgetDrainFloor is the slice capacity (in items) above which a single
+// materialization starts charging its growth against the memory budget.
+const budgetDrainFloor = 4 * batchSize
+
 // getBuf takes a batch buffer from the per-execution pool (allocating on
 // first use). Buffers are plan-shaped scratch space: iterators and sinks
 // borrow one for the duration of a drain or for their internal staging and
@@ -109,6 +128,11 @@ func (d *Dynamic) getBuf() []xdm.Item {
 		return b
 	}
 	d.bufMu.Unlock()
+	// A fresh buffer stays resident in this execution's pool until the
+	// query ends, so its footprint is charged once here. getBuf has no
+	// error return: overage panics the *BudgetError through the engine's
+	// recover boundaries.
+	d.Budget.MustCharge(batchSize * budgetItemBytes)
 	return make([]xdm.Item, batchSize)
 }
 

@@ -529,6 +529,14 @@ func (m *flworMorsel) runRound(f *flworIter) (bool, error) {
 	// stashed until the outputs of the tuples gathered before it deliver,
 	// matching item-at-a-time error order.
 	roundTuples := (extra + 1) * flworRoundChunks * flworMorselTuples
+	// A round's gathered tuple frames are retained only until its outputs
+	// are stitched, so their footprint is bracketed: charged here, returned
+	// when the round ends.
+	roundBytes := int64(roundTuples) * flworTupleEstBytes
+	if err := d.Budget.Charge(roundBytes); err != nil {
+		return false, err
+	}
+	defer d.Budget.Discharge(roundBytes)
 	round := make([]*Frame, 0, roundTuples)
 	var terr error
 gather:

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xqgo/internal/faultinject"
+	"xqgo/internal/limits"
 	"xqgo/internal/projection"
 	"xqgo/internal/store"
 	"xqgo/internal/structjoin"
@@ -57,6 +59,12 @@ type Dynamic struct {
 	// TraceSpan is the parent span execution-stage spans hang under.
 	Trace     *trace.Trace
 	TraceSpan *trace.Span
+
+	// Budget, when non-nil, is the execution's memory budget: hot
+	// allocation sites charge the bytes they retain and overage surfaces
+	// as a structured error (see internal/limits). Shared by value across
+	// worker forks — Budget is internally atomic.
+	Budget *limits.Budget
 
 	// Workers is the morsel-parallelism target for this execution: the
 	// total number of workers (including the pulling goroutine) the
@@ -126,6 +134,7 @@ func (d *Dynamic) fork() *Dynamic {
 		Prof:        d.Prof.shard(),
 		Trace:       d.Trace,
 		TraceSpan:   d.TraceSpan,
+		Budget:      d.Budget,
 		Workers:     1, // workers never nest their own morsel rounds
 		root:        b,
 	}
@@ -233,8 +242,11 @@ func (r *DocRegistry) Doc(uri string) (xdm.Node, error) {
 	r.loads[uri] = l
 	r.mu.Unlock()
 
-	// Slow path outside the lock: unrelated URIs load concurrently.
-	l.node, l.err = loadDocFS(uri)
+	// Slow path outside the lock: unrelated URIs load concurrently. The
+	// load runs under a recover boundary — a panicking parse must still
+	// reach the close(l.done) below, or every waiter on this URI would
+	// block forever.
+	l.node, l.err = safeLoadDocFS(uri)
 
 	r.mu.Lock()
 	if l.err == nil {
@@ -244,6 +256,15 @@ func (r *DocRegistry) Doc(uri string) (xdm.Node, error) {
 	r.mu.Unlock()
 	close(l.done)
 	return l.node, l.err
+}
+
+// safeLoadDocFS is the single-flight load's recover boundary: panics in
+// the loader (or injected by the chaos harness) become ordinary errors so
+// waiters are always released.
+func safeLoadDocFS(uri string) (n xdm.Node, err error) {
+	defer recoverXQ(&err)
+	faultinject.FirePanic(faultinject.DocLoadPanic)
+	return loadDocFS(uri)
 }
 
 // loadDocFS reads and parses one document from the local filesystem.

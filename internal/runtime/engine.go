@@ -52,16 +52,31 @@ func (p *Prepared) newRootFrame(dyn *Dynamic) (*Frame, error) {
 	return fr, nil
 }
 
-// recoverXQ converts StreamedNode accessor panics back into errors at the
-// engine boundary.
+// recoverXQ converts panics back into errors at the engine boundary:
+// StreamedNode accessor aborts, budget overages (limits.BudgetError), and
+// — so no query can take the process down — any other panic value, which
+// surfaces as an XQGO0002 internal error.
 func recoverXQ(err *error) {
 	if r := recover(); r != nil {
-		if e, ok := r.(error); ok {
-			*err = e
-			return
-		}
-		panic(r)
+		*err = PanicError(r)
 	}
+}
+
+// RecoverXQ is the exported recover boundary for sibling packages'
+// goroutine and callback edges (streamexec windows, subscription
+// delivery): `defer runtime.RecoverXQ(&err)`.
+func RecoverXQ(err *error) {
+	if r := recover(); r != nil {
+		*err = PanicError(r)
+	}
+}
+
+// PanicError converts a recovered panic value into an execution error.
+func PanicError(r any) error {
+	if e, ok := r.(error); ok {
+		return e
+	}
+	return xdm.Errf("XQGO0002", "internal error: recovered panic: %v", r)
 }
 
 // Eval executes the query and materializes the whole result.

@@ -4,6 +4,8 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+
+	"xqgo/internal/faultinject"
 )
 
 // Morsel-driven intra-query parallelism. The three hottest iteration loops
@@ -160,6 +162,9 @@ const (
 	flworMorselTuples = 64
 	// flworRoundChunks bounds a FLWOR round to this many chunks per worker.
 	flworRoundChunks = 2
+	// flworTupleEstBytes is the budget estimate per gathered FLWOR tuple
+	// frame (Frame header plus its binding's materialized-value headers).
+	flworTupleEstBytes = 128
 )
 
 // morselRound evaluates chunks [0, chunks) of one parallel round: the
@@ -196,6 +201,7 @@ func morselRound[T any](d *Dynamic, extra, chunks int, fn func(w *Dynamic, chunk
 			func() {
 				defer func() { g.set(errs[i]) }()
 				defer recoverXQ(&errs[i])
+				faultinject.FirePanic(faultinject.MorselPanic)
 				results[i], errs[i] = fn(w, i)
 			}()
 		}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,81 @@ func NewStreamState(r io.Reader, opts xmlparse.Options) *StreamState {
 // URI returns the URI the streamed document resolves under.
 func (s *StreamState) URI() string { return s.opts.URI }
 
+// BindContext arranges for a read of the streamed input that is pending
+// when ctx is canceled to unblock and surface the cancellation error
+// (rather than hanging until the producer writes, or dressing the abort
+// up as a parse error). Must be called before the parse starts; a no-op
+// afterwards, on a nil/never-canceled context, or on repeat calls.
+func (s *StreamState) BindContext(ctx context.Context) {
+	if s == nil || ctx == nil || ctx.Done() == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.doc != nil {
+		return
+	}
+	if _, ok := s.r.(*ctxReader); ok {
+		return
+	}
+	s.r = &ctxReader{ctx: ctx, r: s.r}
+}
+
+// ctxReader runs each Read on a helper goroutine so a canceled context
+// unblocks the caller immediately; the abandoned read hands its (late)
+// result to the next call through res, keeping reads sequential.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+	res chan ctxRead
+}
+
+type ctxRead struct {
+	n   int
+	err error
+	buf []byte
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if c.res == nil {
+		c.res = make(chan ctxRead, 1)
+	} else {
+		// A previous Read abandoned its in-flight call; collect the
+		// leftover result first so underlying reads never interleave.
+		select {
+		case r := <-c.res:
+			return copy(p, r.buf[:r.n]), r.err
+		default:
+		}
+	}
+	buf := make([]byte, len(p))
+	go func() {
+		n, err := c.r.Read(buf)
+		c.res <- ctxRead{n: n, err: err, buf: buf}
+	}()
+	select {
+	case r := <-c.res:
+		return copy(p, r.buf[:r.n]), r.err
+	case <-c.ctx.Done():
+		return 0, c.ctx.Err()
+	}
+}
+
+// Reader returns the stream's input reader — context-wrapped when
+// BindContext ran — for callers that drive their own parse (the
+// event-driven execute path).
+func (s *StreamState) Reader() io.Reader {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r
+}
+
 // docFor returns the streamed document, starting the incremental parse on
-// first use with the execution's projection and profile sink.
+// first use with the execution's projection, profile sink, and memory
+// budget.
 func (s *StreamState) docFor(d *Dynamic) *store.Document {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -41,6 +115,9 @@ func (s *StreamState) docFor(d *Dynamic) *store.Document {
 		o := s.opts
 		o.Projection = d.proj.Load()
 		o.Stats = ingestStats{d: d}
+		if b := d.Budget; b != nil {
+			o.Charge = b.Charge
+		}
 		s.doc = xmlparse.ParseIncremental(s.r, o).Document()
 		s.docv.Store(s.doc)
 	}

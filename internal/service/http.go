@@ -430,7 +430,7 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownDocument):
 		return http.StatusNotFound
-	case errors.Is(err, ErrSaturated), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrShuttingDown), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

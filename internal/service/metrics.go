@@ -183,6 +183,18 @@ func (s *Service) writeMetrics(w io.Writer, exemplars bool) {
 	gauge("xqd_subscription_buffer_peak_bytes", "Largest window buffer any subscription held.")
 	fmt.Fprintf(w, "xqd_subscription_buffer_peak_bytes %d\n", sc.peakBuffer.Load())
 
+	gauge("xqd_governed_bytes", "Live tracked bytes across running executions (resource governor).")
+	fmt.Fprintf(w, "xqd_governed_bytes %d\n", s.gov.InUse())
+	gauge("xqd_process_soft_limit_bytes", "Configured process memory soft cap (0 = off).")
+	fmt.Fprintf(w, "xqd_process_soft_limit_bytes %d\n", s.gov.SoftLimit())
+	counter("xqd_load_shed_total", "Admissions rejected because the governor was near the soft cap.")
+	fmt.Fprintf(w, "xqd_load_shed_total %d\n", s.gov.Sheds())
+	counter("xqd_budget_trips_total", "Executions that exceeded their memory budget, by route.")
+	trips := st.budgetTripTotals()
+	for _, route := range []string{"query", "subscribe"} {
+		fmt.Fprintf(w, "xqd_budget_trips_total{route=%q} %d\n", route, trips[route])
+	}
+
 	gauge("xqgo_build_info", "Build metadata of the serving binary (value is always 1).")
 	fmt.Fprintf(w, "xqgo_build_info%s 1\n", buildInfoLabels())
 

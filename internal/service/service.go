@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"xqgo"
+	"xqgo/internal/limits"
 	"xqgo/internal/trace"
 )
 
@@ -69,6 +71,17 @@ type Config struct {
 	// TraceRingSize bounds the completed-trace ring served by GET /traces
 	// (default 256 entries).
 	TraceRingSize int
+	// MaxQueryBytes caps the engine-tracked bytes one request may hold
+	// (store growth, batch pools, window buffers, materialized results);
+	// overage fails that query with a structured XQGO0001 error. 0 disables
+	// the per-query cap.
+	MaxQueryBytes int64
+	// ProcessSoftLimitBytes is the process-wide soft memory cap: it is
+	// wired into the Go runtime's soft memory limit
+	// (debug.SetMemoryLimit), and while the tracked bytes of running
+	// queries sit near it, new work is rejected with 503 before executing.
+	// 0 disables the cap.
+	ProcessSoftLimitBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +132,7 @@ type Service struct {
 	slow    *slowLog
 	subs    *subCore
 	traces  *trace.Store
+	gov     *limits.Governor
 
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
@@ -127,6 +141,11 @@ type Service struct {
 // New creates a service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.ProcessSoftLimitBytes > 0 {
+		// The governor sheds admissions near the cap; the Go runtime's soft
+		// limit makes the GC fight for the same budget in the meantime.
+		debug.SetMemoryLimit(cfg.ProcessSoftLimitBytes)
+	}
 	return &Service{
 		cfg:      cfg,
 		Catalog:  NewCatalog(),
@@ -136,9 +155,14 @@ func New(cfg Config) *Service {
 		slow:     newSlowLog(cfg.SlowLogSize),
 		subs:     &subCore{live: make(map[uint64]*liveFeed)},
 		traces:   trace.NewStore(cfg.TraceRingSize),
+		gov:      limits.NewGovernor(cfg.ProcessSoftLimitBytes),
 		shutdown: make(chan struct{}),
 	}
 }
+
+// Governor exposes the process-wide memory governor (tracked bytes, soft
+// cap, shed count) for stats and tests.
+func (s *Service) Governor() *limits.Governor { return s.gov }
 
 // Traces returns the completed-trace ring snapshot, newest first, plus the
 // lifetime count of captured traces.
@@ -217,6 +241,15 @@ type Request struct {
 	// incoming traceparent header) instead of the service-created one. The
 	// completed trace still lands in the GET /traces ring.
 	Trace *xqgo.Trace
+	// MaxQueryBytes overrides Config.MaxQueryBytes when non-zero (negative
+	// = no per-query cap; governor tracking still applies).
+	MaxQueryBytes int64
+
+	// chargeOutput marks requests whose serialized result is retained in
+	// memory (the materialized Query path), so result bytes count against
+	// the memory budget; streamed responses leave the process as they are
+	// written and are not charged.
+	chargeOutput bool
 }
 
 // Result is a materialized query response.
@@ -273,6 +306,10 @@ func (s *Service) SlowQueries() ([]SlowEntry, uint64) { return s.slow.snapshot()
 // per-request byte limit. Streaming responses are truncated at the limit.
 var ErrResultTooLarge = errors.New("service: result exceeds size limit")
 
+// ErrOverloaded rejects new work while the process memory governor sits
+// near its soft cap (load shedding: a fast 503 beats an OOM kill).
+var ErrOverloaded = errors.New("service: memory governor near capacity")
+
 // ErrUnknownDocument is wrapped into errors for requests naming a catalog
 // document that is not registered.
 var ErrUnknownDocument = errors.New("service: unknown document")
@@ -302,9 +339,25 @@ func (l *limitWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// budgetWriter charges serialized result bytes against the request's
+// memory budget (the materialized path retains them until the response is
+// written out).
+type budgetWriter struct {
+	w io.Writer
+	b *limits.Budget
+}
+
+func (bw *budgetWriter) Write(p []byte) (int, error) {
+	if err := bw.b.Charge(int64(len(p))); err != nil {
+		return 0, err
+	}
+	return bw.w.Write(p)
+}
+
 // Query runs a request to completion and returns the materialized result.
 func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
 	var buf bytes.Buffer
+	req.chargeOutput = true
 	cached, elapsed, prof, traceID, err := s.run(ctx, req, &buf)
 	return Result{XML: buf.String(), Cached: cached, Elapsed: elapsed,
 		Profile: prof, TraceID: traceID}, err
@@ -328,6 +381,13 @@ func (s *Service) Execute(ctx context.Context, req Request, w io.Writer) (bool, 
 // into the trace ring whatever the outcome.
 func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached bool, elapsed time.Duration, eprof *ExplainProfile, traceID string, err error) {
 	start := time.Now()
+	// Load shedding: while running queries hold tracked bytes near the
+	// process soft cap, reject before spending anything on this request.
+	if s.gov.Overloaded() {
+		s.gov.NoteShed()
+		s.stats.observeTraced(outcomeRejected, time.Since(start), "")
+		return false, time.Since(start), nil, "", ErrOverloaded
+	}
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -346,6 +406,24 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 		if req.ContextDoc != "" {
 			reqSpan.SetAttr("doc", req.ContextDoc)
 		}
+	}
+
+	// Per-query memory budget: charged by the engine's hot allocation
+	// sites, released wholesale when the request finishes. Created even
+	// without a per-query cap when a governor soft cap is set, so running
+	// queries' tracked bytes feed the admission check above.
+	maxQ := req.MaxQueryBytes
+	if maxQ == 0 {
+		maxQ = s.cfg.MaxQueryBytes
+	}
+	if maxQ < 0 {
+		maxQ = 0
+	}
+	var budget *limits.Budget
+	if maxQ > 0 || s.gov.SoftLimit() > 0 {
+		budget = limits.NewBudget(maxQ, s.gov)
+		budget.SetTraceID(traceID)
+		defer budget.ReleaseAll()
 	}
 
 	var q *xqgo.Query
@@ -387,6 +465,9 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 		if prof != nil {
 			qctx.WithProfile(prof)
 		}
+		if budget != nil {
+			qctx.WithBudget(budget)
+		}
 		limit := req.MaxResultBytes
 		if limit == 0 {
 			limit = s.cfg.MaxResultBytes
@@ -394,9 +475,16 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 		if limit < 0 {
 			limit = -1
 		}
-		return q.ExecuteContext(rctx, qctx, &limitWriter{w: w, rem: limit})
+		out := w
+		if budget != nil && req.chargeOutput {
+			out = &budgetWriter{w: w, b: budget}
+		}
+		return q.ExecuteContext(rctx, qctx, &limitWriter{w: out, rem: limit})
 	})
 	elapsed = time.Since(start)
+	if budget != nil && budget.Trips() > 0 {
+		s.stats.noteBudgetTrip("query")
+	}
 	oc := classify(err)
 	if tr != nil {
 		reqSpan.SetAttr("outcome", oc.String())
@@ -429,7 +517,7 @@ func classify(err error) outcome {
 	switch {
 	case err == nil:
 		return outcomeOK
-	case errors.Is(err, ErrSaturated):
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrOverloaded):
 		return outcomeRejected
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return outcomeTimeout

@@ -90,6 +90,31 @@ type statsCore struct {
 	histCnt  uint64
 	engine   engineTotals
 	profiled uint64 // requests that carried a profile
+
+	// budgetTrips counts executions whose memory budget tripped, per route
+	// class ("query", "subscribe").
+	budgetTrips map[string]uint64
+}
+
+// noteBudgetTrip records one execution that exceeded its memory budget.
+func (s *statsCore) noteBudgetTrip(route string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budgetTrips == nil {
+		s.budgetTrips = make(map[string]uint64)
+	}
+	s.budgetTrips[route]++
+}
+
+// budgetTripTotals snapshots the per-route budget-trip counters.
+func (s *statsCore) budgetTripTotals() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.budgetTrips))
+	for k, v := range s.budgetTrips {
+		out[k] = v
+	}
+	return out
 }
 
 func newStatsCore() *statsCore {
@@ -305,6 +330,25 @@ type Snapshot struct {
 	SlowQueries   uint64       `json:"slowQueries"`
 	// Subscriptions aggregates the pub/sub layer (POST /subscribe).
 	Subscriptions SubscriptionTotals `json:"subscriptions"`
+	// Governance reports the resource governor: process soft cap, live
+	// tracked bytes, load-shed rejections, and per-route budget trips.
+	Governance GovernanceTotals `json:"governance"`
+}
+
+// GovernanceTotals is the resource-governance accounting surface.
+type GovernanceTotals struct {
+	// ProcessSoftLimitBytes is the configured process soft cap (0 = off).
+	ProcessSoftLimitBytes int64 `json:"processSoftLimitBytes"`
+	// MaxQueryBytes is the configured default per-query budget (0 = off).
+	MaxQueryBytes int64 `json:"maxQueryBytes"`
+	// GovernedBytes is the live tracked-byte total across running executions.
+	GovernedBytes int64 `json:"governedBytes"`
+	// LoadShed counts admissions rejected because the governor was near the
+	// soft cap.
+	LoadShed int64 `json:"loadShed"`
+	// BudgetTrips counts executions that exceeded their memory budget, per
+	// route class ("query", "subscribe").
+	BudgetTrips map[string]uint64 `json:"budgetTrips"`
 }
 
 // RouteLatency is one route class's sliding-window percentile breakdown.
@@ -355,19 +399,19 @@ func (s *Service) Stats() Snapshot {
 	docs, bytes, nodes := s.Catalog.Totals()
 	_, slowTotal := s.slow.snapshot()
 	return Snapshot{
-		Served:      served,
-		Errors:      errs,
-		Rejected:    rej,
-		Timeouts:    to,
-		InFlight:    s.exec.InFlight(),
-		Queued:      s.exec.Queued(),
-		P50Micros:   p50.Microseconds(),
-		P90Micros:   p90.Microseconds(),
-		P99Micros:   p99.Microseconds(),
-		P999Micros:  p999.Microseconds(),
-		Routes:      routes,
-		PlanCache:   s.plans.Stats(),
-		Documents:   DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
+		Served:        served,
+		Errors:        errs,
+		Rejected:      rej,
+		Timeouts:      to,
+		InFlight:      s.exec.InFlight(),
+		Queued:        s.exec.Queued(),
+		P50Micros:     p50.Microseconds(),
+		P90Micros:     p90.Microseconds(),
+		P99Micros:     p99.Microseconds(),
+		P999Micros:    p999.Microseconds(),
+		Routes:        routes,
+		PlanCache:     s.plans.Stats(),
+		Documents:     DocTotals{Count: docs, Bytes: bytes, Nodes: nodes},
 		UptimeSecs:    time.Since(start).Seconds(),
 		WorkerSlots:   s.exec.Workers(),
 		LeasedWorkers: s.exec.Leased(),
@@ -381,6 +425,13 @@ func (s *Service) Stats() Snapshot {
 			Results:         s.subs.results.Load(),
 			Fallbacks:       s.subs.fallbacks.Load(),
 			PeakBufferBytes: s.subs.peakBuffer.Load(),
+		},
+		Governance: GovernanceTotals{
+			ProcessSoftLimitBytes: s.gov.SoftLimit(),
+			MaxQueryBytes:         s.cfg.MaxQueryBytes,
+			GovernedBytes:         s.gov.InUse(),
+			LoadShed:              s.gov.Sheds(),
+			BudgetTrips:           st.budgetTripTotals(),
 		},
 	}
 }

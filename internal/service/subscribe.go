@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"xqgo"
+	"xqgo/internal/faultinject"
+	"xqgo/internal/limits"
 )
 
 // subCore aggregates subscription accounting across the service lifetime and
@@ -191,6 +193,14 @@ type subEnd struct {
 // sseEvent writes one Server-Sent Events frame and flushes it to the client.
 // data must be a single line (JSON marshaling guarantees that).
 func sseEvent(w io.Writer, f http.Flusher, event string, data []byte) error {
+	// Chaos injection points: a slow consumer (delay-only fault) stalls the
+	// write; a write error simulates the client connection breaking mid-frame.
+	if err := faultinject.Fire(faultinject.SSESlow); err != nil {
+		return err
+	}
+	if err := faultinject.Fire(faultinject.SSEWrite); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 		return err
 	}
@@ -203,6 +213,11 @@ func sseEvent(w io.Writer, f http.Flusher, event string, data []byte) error {
 func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if s.ShuttingDown() {
 		writeError(w, ErrShuttingDown)
+		return
+	}
+	if s.gov.Overloaded() {
+		s.gov.NoteShed()
+		writeError(w, ErrOverloaded)
 		return
 	}
 	queries := r.URL.Query()["query"]
@@ -265,6 +280,17 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	sub := xqgo.NewSubscriber().WithProfile(prof).WithTrace(tr)
 
+	// Per-feed memory budget: window buffers and any fallback materialization
+	// of the feed charge against the same cap a one-shot query gets, and the
+	// governor sees the feed's retained bytes for admission decisions.
+	var budget *limits.Budget
+	if s.cfg.MaxQueryBytes > 0 || s.gov.SoftLimit() > 0 {
+		budget = limits.NewBudget(s.cfg.MaxQueryBytes, s.gov)
+		budget.SetTraceID(traceID)
+		defer budget.ReleaseAll()
+		sub.WithBudget(budget)
+	}
+
 	infos := make([]subInfo, len(plans))
 	handles := make([]*xqgo.Subscription, len(plans))
 	for i, plan := range plans {
@@ -316,6 +342,9 @@ func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	runErr := sub.Run(ctx, &cancelReader{ctx: ctx, r: r.Body}, StreamBodyURI)
 	s.subs.unregister(feedID)
 	s.stats.observeFeed(time.Since(feedStart))
+	if budget != nil && budget.Trips() > 0 {
+		s.stats.noteBudgetTrip("subscribe")
+	}
 	if tr != nil {
 		s.traces.Add(tr.Finish())
 	}

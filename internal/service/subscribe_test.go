@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"xqgo/internal/leakcheck"
 )
 
 func TestIsXMLContentType(t *testing.T) {
@@ -84,6 +86,7 @@ func parseSSE(t *testing.T, body string) []sseEvt {
 }
 
 func TestSubscribeSSE(t *testing.T) {
+	leakcheck.Check(t)
 	s := newTestService(t, Config{})
 	h := NewHTTPHandler(s)
 
@@ -267,6 +270,7 @@ func (r *sseRecorder) waitFor(t *testing.T, substr string) {
 // client is sending nothing — with a terminal goodbye event, and new
 // subscribe requests are rejected with 503.
 func TestSubscribeShutdown(t *testing.T) {
+	leakcheck.Check(t)
 	s := newTestService(t, Config{})
 	h := NewHTTPHandler(s)
 

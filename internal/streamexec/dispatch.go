@@ -4,6 +4,8 @@ import (
 	"encoding/xml"
 	"sync"
 	"sync/atomic"
+
+	"xqgo/internal/runtime"
 )
 
 // Dispatcher fans one decoder token stream out to any number of runners
@@ -52,17 +54,25 @@ func (d *Dispatcher) Add(fn func(xml.Token) error, finish func() error) *Tap {
 }
 
 // Token delivers one token to every live tap — install this as the parser's
-// Tap. It never returns an error: per-tap failures detach that tap only.
+// Tap. It never returns an error: per-tap failures (errors AND panics —
+// one poisoned handler must never kill the feed's siblings) detach that
+// tap only.
 func (d *Dispatcher) Token(tok xml.Token) error {
 	for _, t := range d.taps {
 		if t.closed.Load() {
 			continue
 		}
-		if err := t.fn(tok); err != nil {
+		if err := t.call(tok); err != nil {
 			t.fail(err)
 		}
 	}
 	return nil
+}
+
+// call is the per-tap recover boundary for token delivery.
+func (t *Tap) call(tok xml.Token) (err error) {
+	defer runtime.RecoverXQ(&err)
+	return t.fn(tok)
 }
 
 // Finish signals end of input to every live tap.
@@ -71,10 +81,16 @@ func (d *Dispatcher) Finish() {
 		if t.closed.Load() || t.finish == nil {
 			continue
 		}
-		if err := t.finish(); err != nil {
+		if err := t.callFinish(); err != nil {
 			t.fail(err)
 		}
 	}
+}
+
+// callFinish is the per-tap recover boundary for end-of-input delivery.
+func (t *Tap) callFinish() (err error) {
+	defer runtime.RecoverXQ(&err)
+	return t.finish()
 }
 
 // Live reports how many taps are still attached.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xqgo/internal/faultinject"
 	"xqgo/internal/runtime"
 	"xqgo/internal/store"
 	"xqgo/internal/tokens"
@@ -118,6 +119,7 @@ func newRunner(p *Program, env Env) *Runner {
 			Vars:      env.Vars,
 			Now:       env.Now,
 			Interrupt: env.Interrupt,
+			Budget:    env.Budget,
 		},
 	}
 	if env.Prof != nil {
@@ -370,8 +372,7 @@ func (r *Runner) content(t tokens.Token) error {
 		case tokens.KindPI:
 			r.bld.PI(t.Name.Local, t.Value)
 		}
-		r.addBuf(tokBytes(t))
-		return nil
+		return r.addBuf(tokBytes(t))
 	}
 	return r.fanOut(t)
 }
@@ -379,8 +380,7 @@ func (r *Runner) content(t tokens.Token) error {
 func (r *Runner) contentText(s string) error {
 	if r.prog.residual != nil {
 		r.bld.Text(s)
-		r.addBuf(int64(len(s)) + 16)
-		return nil
+		return r.addBuf(int64(len(s)) + 16)
 	}
 	return r.fanOut(tokens.Token{Kind: tokens.KindText, Value: s})
 }
@@ -439,8 +439,7 @@ func (r *Runner) interiorStart(t xml.StartElement) error {
 			}
 			est += int64(len(a.Name.Local)+len(a.Name.Space)+len(a.Value)) + 16
 		}
-		r.addBuf(est)
-		return nil
+		return r.addBuf(est)
 	}
 	if err := r.emitTok(tokens.Token{Kind: tokens.KindStartElement, Name: convName(t.Name)}); err != nil {
 		return err
@@ -483,24 +482,18 @@ func (r *Runner) closeChildWindow() error {
 	err = r.evalWindow(doc)
 	r.wSpan.SetAttr("bufferBytes", r.curBytes).End()
 	r.wSpan = nil
-	r.curBytes = 0
+	r.dropBuf(r.curBytes)
 	r.flushCounters()
 	return err
 }
 
 // evalWindow runs the residual plan over one completed window mini-store.
 func (r *Runner) evalWindow(doc *store.Document) (err error) {
-	defer func() {
-		// StreamedNode accessors surface errors by panicking; convert at
-		// the boundary like the store engine does.
-		if rec := recover(); rec != nil {
-			if e, ok := rec.(error); ok {
-				err = e
-				return
-			}
-			panic(rec)
-		}
-	}()
+	// StreamedNode accessors surface errors by panicking; convert at the
+	// boundary like the store engine does. Non-error panics become XQGO0002
+	// errors so a poisoned window detaches only its own subscription.
+	defer runtime.RecoverXQ(&err)
+	faultinject.FirePanic(faultinject.WindowPanic)
 	r.dyn.ContextItem = doc.RootNode().ChildrenOf()[0]
 	it, err := r.prog.residual.Iterator(r.dyn)
 	if err != nil {
@@ -536,7 +529,9 @@ func (r *Runner) fanOut(t tokens.Token) error {
 		w := &r.open[i]
 		w.buf = append(w.buf, t)
 		w.bytes += tokBytes(t)
-		r.addBuf(tokBytes(t))
+		if err := r.addBuf(tokBytes(t)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -564,7 +559,7 @@ func (r *Runner) closeNestedWindow() error {
 				return err
 			}
 		}
-		r.curBytes -= q.bytes
+		r.dropBuf(q.bytes)
 		if err := r.finishResult(); err != nil {
 			return err
 		}
@@ -600,12 +595,23 @@ func (r *Runner) emitTok(t tokens.Token) error {
 // addBuf grows the live buffer estimate and maintains the high-water mark
 // (published to the profile as it rises, so /metrics stays current during
 // long feeds). The runner is the only writer, so Load+Store suffices.
-func (r *Runner) addBuf(n int64) {
+// Buffered bytes are charged against the execution's memory budget — these
+// are exactly the retained bytes Koch et al.'s buffer bound is about — and
+// discharged by dropBuf as windows deliver.
+func (r *Runner) addBuf(n int64) error {
 	r.curBytes += n
 	if r.curBytes > r.peakBuffer.Load() {
 		r.peakBuffer.Store(r.curBytes)
 		r.env.Prof.NoteStreamBufferPeak(r.curBytes)
 	}
+	return r.env.Budget.Charge(n)
+}
+
+// dropBuf releases delivered window bytes from the live estimate and the
+// budget.
+func (r *Runner) dropBuf(n int64) {
+	r.curBytes -= n
+	r.env.Budget.Discharge(n)
 }
 
 // tokBytes estimates the retained size of one buffered token.

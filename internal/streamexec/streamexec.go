@@ -16,6 +16,7 @@ package streamexec
 import (
 	"time"
 
+	"xqgo/internal/limits"
 	"xqgo/internal/runtime"
 	"xqgo/internal/trace"
 	"xqgo/internal/xdm"
@@ -68,4 +69,8 @@ type Env struct {
 	// streamed view of the document matches what the store engine would have
 	// materialized (whitespace-only text between elements dropped).
 	StripWhitespace bool
+	// Budget, when non-nil, is charged for window buffer growth (and
+	// discharged as windows close); overage aborts the execution with a
+	// structured budget error (see internal/limits).
+	Budget *limits.Budget
 }

@@ -1,11 +1,14 @@
 package xmlparse
 
 import (
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"xqgo/internal/faultinject"
 	"xqgo/internal/projection"
 	"xqgo/internal/store"
 )
@@ -27,6 +30,14 @@ type countingReader struct {
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
+	if err := faultinject.Fire(faultinject.ParserRead); err != nil {
+		return 0, err
+	}
+	if faultinject.Fire(faultinject.FeedTruncate) != nil {
+		// Premature end of input: the tokenizer sees EOF mid-document
+		// (typically mid-token) and must surface a structured parse error.
+		return 0, io.EOF
+	}
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
@@ -91,7 +102,17 @@ func (p *Incremental) advance() (done bool, err error) {
 	}
 	if err != nil {
 		p.flushStats(1, 0)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A canceled input context is not a malformed document: pass
+			// the cancellation through undressed so callers classify it
+			// as such (504, not 422).
+			return false, err
+		}
 		return false, fmt.Errorf("xmlparse: %w", err)
+	}
+	if ferr := faultinject.Fire(faultinject.StoreAbort); ferr != nil {
+		p.flushStats(1, 0)
+		return false, ferr
 	}
 	if p.opts.Tap != nil {
 		if terr := p.opts.Tap(tok); terr != nil {
@@ -226,11 +247,26 @@ func (p *Incremental) advance() (done bool, err error) {
 		// DOCTYPE etc.: accepted and dropped.
 	}
 
+	built := int64(p.b.NodeCount() - before)
+	bytes := p.bytesDelta()
 	if p.opts.Stats != nil {
-		p.opts.Stats.OnParse(1, int64(p.b.NodeCount()-before), skipped, p.bytesDelta())
+		p.opts.Stats.OnParse(1, built, skipped, bytes)
+	}
+	if p.opts.Charge != nil && built > 0 {
+		// Store growth this increment retains: node records plus the
+		// materialized input bytes (values, names). Skipped subtrees build
+		// nothing and are never charged.
+		if cerr := p.opts.Charge(built*nodeEstBytes + bytes); cerr != nil {
+			return false, cerr
+		}
 	}
 	return false, nil
 }
+
+// nodeEstBytes is the charged overhead estimate per store node record
+// (the pre-order array slots: kind, name, parent, sibling/child links,
+// region labels); text payloads ride on the increment's input bytes.
+const nodeEstBytes = 64
 
 // finish validates and finalizes the document at end of input.
 func (p *Incremental) finish() error {
@@ -245,8 +281,14 @@ func (p *Incremental) finish() error {
 	if _, err := p.b.Done(); err != nil {
 		return err
 	}
+	built := int64(p.b.NodeCount() - before)
 	if p.opts.Stats != nil {
-		p.opts.Stats.OnParse(0, int64(p.b.NodeCount()-before), 0, 0)
+		p.opts.Stats.OnParse(0, built, 0, 0)
+	}
+	if p.opts.Charge != nil && built > 0 {
+		if cerr := p.opts.Charge(built * nodeEstBytes); cerr != nil {
+			return cerr
+		}
 	}
 	return nil
 }

@@ -38,6 +38,12 @@ type Options struct {
 	// parse with it. Token payloads ([]byte of CharData etc.) are only valid
 	// for the duration of the call.
 	Tap func(xml.Token) error
+	// Charge, when non-nil, is called with a byte estimate of the store
+	// growth each increment retains (node records plus materialized input
+	// bytes). A non-nil return aborts the parse with it — this is how a
+	// per-query memory budget stops a hostile document before it OOMs the
+	// process (see internal/limits).
+	Charge func(bytes int64) error
 }
 
 // Parse reads one XML document from r, eagerly: the incremental machinery

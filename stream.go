@@ -70,8 +70,15 @@ func (q *Query) tryExecuteStream(c *Context, w io.Writer) (bool, error) {
 		Prof:      c.dyn.Prof,
 		Trace:     c.dyn.Trace,
 		TraceSpan: c.dyn.TraceSpan,
+		Budget:    c.dyn.Budget,
 	}, sw)
-	p := xmlparse.ParseIncremental(c.streamR, xmlparse.Options{
+	in := c.streamR
+	if c.dyn.Stream != nil {
+		// Context-wrapped when bindContext ran, so a canceled execution
+		// unblocks a pending feed read here too.
+		in = c.dyn.Stream.Reader()
+	}
+	p := xmlparse.ParseIncremental(in, xmlparse.Options{
 		URI:        c.streamURI,
 		Projection: projection.New(), // tokenize everything, build nothing
 		Stats:      runtime.IngestStats(c.dyn),

@@ -27,9 +27,10 @@ import (
 // Delivery callbacks run on Run's goroutine; Subscription.Close is safe from
 // any goroutine.
 type Subscriber struct {
-	prof  *Profile
-	trace *Trace
-	subs  []*Subscription
+	prof   *Profile
+	trace  *Trace
+	budget *MemoryBudget
+	subs   []*Subscription
 }
 
 // NewSubscriber creates an empty subscriber.
@@ -46,6 +47,16 @@ func (s *Subscriber) WithProfile(p *Profile) *Subscriber {
 // first windows of each streamable subscription as live child spans.
 func (s *Subscriber) WithTrace(t *Trace) *Subscriber {
 	s.trace = t
+	return s
+}
+
+// WithBudget attaches a memory budget to the feed: window buffers, any
+// fallback materialization of the feed, and fallback evaluation all charge
+// it, so one runaway feed trips a structured budget error instead of
+// growing without bound. The caller releases the budget (ReleaseAll) when
+// the feed ends.
+func (s *Subscriber) WithBudget(b *MemoryBudget) *Subscriber {
+	s.budget = b
 	return s
 }
 
@@ -68,7 +79,7 @@ func (s *Subscriber) Subscriptions() []*Subscription { return s.subs }
 // cancellation); per-subscription evaluation errors are recorded on their
 // Subscription (Err) and do not stop the feed.
 func (s *Subscriber) Run(ctx context.Context, r io.Reader, uri string) error {
-	env := streamexec.Env{Prof: s.prof, Trace: s.trace}
+	env := streamexec.Env{Prof: s.prof, Trace: s.trace, Budget: s.budget}
 	if s.trace != nil {
 		feed := s.trace.StartSpan("feed", nil).
 			SetAttr("uri", uri).SetAttr("subscriptions", len(s.subs))
@@ -98,11 +109,15 @@ func (s *Subscriber) Run(ctx context.Context, r io.Reader, uri string) error {
 		proj = projection.New()
 	}
 
-	p := xmlparse.ParseIncremental(r, xmlparse.Options{
+	popts := xmlparse.Options{
 		URI:        uri,
 		Projection: proj,
 		Tap:        d.Token,
-	})
+	}
+	if s.budget != nil {
+		popts.Charge = s.budget.Charge
+	}
+	p := xmlparse.ParseIncremental(r, popts)
 	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -240,12 +255,16 @@ func (s *Subscription) safeDeliver(xml []byte) error {
 
 // evalStore runs a fallback subscription over the materialized feed,
 // framing each result item exactly like the streaming path (token
-// serialization per item).
-func (s *Subscription) evalStore(doc *store.Document, env streamexec.Env) error {
+// serialization per item). Panics (in evaluation or in the delivery
+// callback) are converted at this boundary so one poisoned subscription
+// never takes down its feed's siblings.
+func (s *Subscription) evalStore(doc *store.Document, env streamexec.Env) (err error) {
+	defer runtime.RecoverXQ(&err)
 	dyn := &runtime.Dynamic{
 		ContextItem: doc.RootNode(),
 		Interrupt:   env.Interrupt,
 		Now:         env.Now,
+		Budget:      env.Budget,
 	}
 	// The fallback runs this subscription's own plan, which need not match
 	// the plan env.Prof was sized for (operator ids are plan-specific —

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"xqgo"
+	"xqgo/internal/leakcheck"
 	"xqgo/internal/service"
 	"xqgo/internal/workload"
 )
@@ -81,6 +82,7 @@ func getStats(t *testing.T, base string) service.Snapshot {
 }
 
 func TestXqdEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	svc := service.New(service.Config{
 		Workers:       8,
 		QueueDepth:    256,
@@ -234,6 +236,7 @@ func TestXqdEndToEnd(t *testing.T) {
 const slowQuery = "count(for $i in 1 to 2000000000 return $i)"
 
 func TestXqdAdmissionControlSaturation(t *testing.T) {
+	leakcheck.Check(t)
 	svc := service.New(service.Config{
 		Workers:        1,
 		QueueDepth:     1,
@@ -307,6 +310,7 @@ func TestXqdAdmissionControlSaturation(t *testing.T) {
 }
 
 func TestXqdDeadlineExceeded(t *testing.T) {
+	leakcheck.Check(t)
 	svc := service.New(service.Config{Workers: 2})
 	base := startServer(t, svc)
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"xqgo/internal/expr"
+	"xqgo/internal/limits"
 	"xqgo/internal/optimizer"
 	"xqgo/internal/runtime"
 	"xqgo/internal/serializer"
@@ -371,8 +372,11 @@ func (c *Context) WithStreamingInput(r io.Reader, uri string) *Context {
 }
 
 // bindContext routes ctx cancellation into the engine's interrupt hook,
-// composing with any WithInterrupt hook. No-op for contexts that can never
-// be canceled (context.Background() and friends).
+// composing with any WithInterrupt hook. A pending streamed-input read is
+// also unblocked on cancellation — without that, an execution stalled on a
+// slow producer would ignore its deadline until the next byte arrived. No-op
+// for contexts that can never be canceled (context.Background() and
+// friends).
 func (c *Context) bindContext(ctx context.Context) {
 	if ctx == nil || ctx.Done() == nil {
 		return
@@ -387,7 +391,60 @@ func (c *Context) bindContext(ctx context.Context) {
 		}
 		return nil
 	}
+	c.dyn.Stream.BindContext(ctx)
 }
+
+// MemoryBudget tracks one execution's bytes against a per-query cap; see
+// Context.WithMemoryBudget. Obtain standalone instances with
+// NewMemoryBudget, or governed ones from a MemoryGovernor.
+type MemoryBudget = limits.Budget
+
+// MemoryGovernor is a process-wide ledger of tracked bytes across many
+// budgeted executions, with a soft cap for admission control. The service
+// layer holds one per daemon.
+type MemoryGovernor = limits.Governor
+
+// BudgetExceededError is the structured error a memory-budget overage
+// surfaces as (code XQGO0001). Detect it with errors.As.
+type BudgetExceededError = limits.BudgetError
+
+// NewMemoryBudget creates a standalone per-execution memory budget of
+// maxBytes (0 = track without enforcing).
+func NewMemoryBudget(maxBytes int64) *MemoryBudget {
+	return limits.NewBudget(maxBytes, nil)
+}
+
+// NewMemoryGovernor creates a governor with a process soft cap in bytes
+// (0 = unlimited). Budgets created with Governed charge against it.
+func NewMemoryGovernor(softLimitBytes int64) *MemoryGovernor {
+	return limits.NewGovernor(softLimitBytes)
+}
+
+// WithMemoryBudget caps the tracked bytes executions under this context may
+// hold: store growth during lazy materialization, batch buffer pools, FLWOR
+// gather rounds, and streaming window buffers all charge the budget, and
+// overage aborts the query with a structured XQGO0001 error instead of
+// letting it OOM the process. maxBytes <= 0 removes the cap. The accounting
+// is an estimate of retained engine allocations, not process RSS.
+func (c *Context) WithMemoryBudget(maxBytes int64) *Context {
+	if maxBytes <= 0 {
+		c.dyn.Budget = nil
+		return c
+	}
+	c.dyn.Budget = limits.NewBudget(maxBytes, nil)
+	return c
+}
+
+// WithBudget attaches an externally created budget (possibly charging a
+// shared MemoryGovernor) to this context. Pass nil to detach. A budget
+// belongs to one execution: release it (ReleaseAll) when the run finishes.
+func (c *Context) WithBudget(b *MemoryBudget) *Context {
+	c.dyn.Budget = b
+	return c
+}
+
+// Budget returns the attached memory budget, nil when none is set.
+func (c *Context) Budget() *MemoryBudget { return c.dyn.Budget }
 
 // WithProfile attaches a profile to this context: subsequent executions
 // update its counters. The profile must come from the same Query's
