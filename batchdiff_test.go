@@ -109,7 +109,8 @@ var batchDiffOptSets = []struct {
 	opts xqgo.Options
 }{
 	{"default", xqgo.Options{}},
-	{"structjoin", xqgo.Options{UseStructuralJoins: true}},
+	{"structjoin", xqgo.Options{Strategy: xqgo.ForceBinaryJoin}},
+	{"twig", xqgo.Options{Strategy: xqgo.ForceTwig}},
 	{"parallel", xqgo.Options{Parallel: true}},
 }
 

@@ -48,6 +48,13 @@ type benchReport struct {
 	// attached (charging every hot path, never tripping). CI gates on the
 	// on/off ratio staying within 3%.
 	Governance []govRow `json:"governance"`
+	// TwigVsBinary holds the join-strategy comparison: each shape evaluated
+	// with navigation, the binary stack-tree plan, the holistic twig
+	// (path-stack) join, and cost-based Auto. CI gates on Auto staying
+	// within 5% of the best manual strategy on every shape, and on Auto
+	// picking the twig join on at least one shape where it measurably
+	// beats the binary plan.
+	TwigVsBinary []twigRow `json:"twigVsBinary"`
 	// NumCPU records the machine's logical CPU count: the worker-scaling
 	// speedup gate only applies where the hardware can actually express it.
 	NumCPU int `json:"numCPU"`
@@ -102,6 +109,21 @@ type ingestRow struct {
 	BytesParsed  int64  `json:"bytesParsed"`  // input bytes pulled on demand
 }
 
+// twigRow is one join-strategy comparison measurement. The four ns/op
+// columns are min-of-reps on a warm per-strategy context (the index build
+// is priced by its own rows elsewhere); AutoVsBest is the median of per-rep
+// auto/best-manual ratios, so machine drift cancels out of the gate.
+type twigRow struct {
+	Name       string  `json:"name"`
+	Query      string  `json:"query"`
+	NavNs      int64   `json:"navNsPerOp"`
+	BinaryNs   int64   `json:"binaryNsPerOp"`
+	TwigNs     int64   `json:"twigNsPerOp"`
+	AutoNs     int64   `json:"autoNsPerOp"`
+	AutoChoice string  `json:"autoChoice"`
+	AutoVsBest float64 `json:"autoVsBest"`
+}
+
 // batchRow is one batched-vs-item comparison measurement.
 type batchRow struct {
 	Name      string  `json:"name"`
@@ -125,8 +147,8 @@ func (r *runner) runJSON(path string) error {
 	stream := mustCompile(paperQ, nil)
 	eager := mustCompile(paperQ, &xqgo.Options{Engine: xqgo.Eager, NoOptimize: true})
 	pathQ := mustCompile(`/Order/OrderLine/Item/ID`, nil)
-	descQ := mustCompile(`count(//a//b)`, nil)
-	joinQ := mustCompile(`count(//a//b)`, &xqgo.Options{UseStructuralJoins: true})
+	descQ := mustCompile(`count(//a//b)`, &xqgo.Options{Strategy: xqgo.ForceNavigation})
+	joinQ := mustCompile(`count(//a//b)`, &xqgo.Options{Strategy: xqgo.ForceBinaryJoin})
 
 	// Warm the structural-join index cache so the row measures the join.
 	joinCtx := ctxFor(deep)
@@ -579,7 +601,7 @@ func (r *runner) runJSON(path string) error {
 		name string
 		q    *xqgo.Query
 	}{
-		{"path/descendant-structjoin", mustCompile(`count(//a//b)`, &xqgo.Options{UseStructuralJoins: true})},
+		{"path/descendant-structjoin", mustCompile(`count(//a//b)`, &xqgo.Options{Strategy: xqgo.ForceBinaryJoin})},
 		{"path/descendant-scan", mustCompile(`count(//a)`, nil)},
 		{"flwor/sum-tuples", mustCompile(`sum(for $i in 1 to 300000 return $i mod 7)`, nil)},
 	}
@@ -652,6 +674,85 @@ func (r *runner) runJSON(path string) error {
 			})
 			fmt.Fprintf(os.Stderr, "xqbench: scaling %-28s workers %d %12d ns/op  %.2fx\n",
 				c.name, w, scaleNs[i][j], speedup)
+		}
+	}
+
+	// Join-strategy comparison over the shapes where the "demythization"
+	// literature says holistic and binary plans genuinely diverge: a deep
+	// chain (many nested matches per edge, so the binary plan materializes
+	// large intermediate pair lists), a wide shallow twig (joins are cheap,
+	// navigation and both joins should be close), and a low-selectivity
+	// leaf (the binary plan pays for every (a,b) pair before the rare leaf
+	// cuts the output down; the path stack never materializes them).
+	twigShapes := []struct {
+		name  string
+		query string
+		doc   *xqgo.Document
+	}{
+		{"twig/deep-chain", `count(//a//b//c)`,
+			xqgo.FromStore(workload.Deep(workload.DeepConfig{
+				Nodes: 60000, MaxDepth: 40, Fanout: 2, Seed: 3}))},
+		{"twig/wide-shallow", `count(//a//b)`,
+			xqgo.FromStore(workload.Deep(workload.DeepConfig{
+				Nodes: 60000, MaxDepth: 6, Fanout: 24, Seed: 4}))},
+		{"twig/low-selectivity-leaf", `count(//a//b//z)`,
+			xqgo.FromStore(workload.Deep(workload.DeepConfig{
+				Nodes: 60000, Names: []string{"a", "a", "a", "b", "b", "b", "z"}, Seed: 5}))},
+	}
+	twigWinsSomewhere := false
+	for _, sh := range twigShapes {
+		strategies := []xqgo.Strategy{
+			xqgo.ForceNavigation, xqgo.ForceBinaryJoin, xqgo.ForceTwig, xqgo.StrategyAuto,
+		}
+		plans := make([]*xqgo.Query, len(strategies))
+		ctxs := make([]*xqgo.Context, len(strategies))
+		for i, st := range strategies {
+			plans[i] = mustCompile(sh.query, &xqgo.Options{Strategy: st})
+			ctxs[i] = xqgo.NewContext().WithContextNode(sh.doc)
+		}
+		// The Auto plan warms up under a counters profile so the row can
+		// report the strategy the cost model actually picked; the choice is
+		// made on the first run (cold index, no feedback) and cached for
+		// the execution context, exactly like a server's first request.
+		prof := plans[3].NewCountersProfile()
+		ctxs[3].WithProfile(prof)
+		for i := range plans {
+			mustEval(plans[i], ctxs[i]) // warm the per-context index cache
+		}
+		ctxs[3].WithProfile(nil)
+		autoChoice := ""
+		for _, op := range prof.Report().Operators {
+			if op.Strategy != "" {
+				autoChoice = op.Strategy
+			}
+		}
+		mins := []int64{1 << 62, 1 << 62, 1 << 62, 1 << 62}
+		ratios := make([]float64, 0, r.reps)
+		for k := 0; k < r.reps; k++ {
+			var cell [4]int64
+			for i := range plans {
+				t0 := time.Now()
+				mustEval(plans[i], ctxs[i])
+				cell[i] = time.Since(t0).Nanoseconds()
+				if cell[i] < mins[i] {
+					mins[i] = cell[i]
+				}
+			}
+			best := min64(cell[0], min64(cell[1], cell[2]))
+			ratios = append(ratios, float64(cell[3])/float64(max64(best, 1)))
+		}
+		sort.Float64s(ratios)
+		row := twigRow{
+			Name: sh.name, Query: sh.query,
+			NavNs: mins[0], BinaryNs: mins[1], TwigNs: mins[2], AutoNs: mins[3],
+			AutoChoice: autoChoice, AutoVsBest: ratios[len(ratios)/2],
+		}
+		rep.TwigVsBinary = append(rep.TwigVsBinary, row)
+		fmt.Fprintf(os.Stderr,
+			"xqbench: %-28s nav %10d  binary %10d  twig %10d  auto %10d ns/op  choice=%s  auto/best %.3fx\n",
+			sh.name, row.NavNs, row.BinaryNs, row.TwigNs, row.AutoNs, row.AutoChoice, row.AutoVsBest)
+		if row.AutoChoice == "twig-join" && row.TwigNs < row.BinaryNs {
+			twigWinsSomewhere = true
 		}
 	}
 
@@ -745,6 +846,19 @@ func (r *runner) runJSON(path string) error {
 	if rep.NumCPU >= 8 && joinSpeedup8 < 3.0 {
 		return fmt.Errorf("worker scaling regression: path/descendant-structjoin at 8 workers %.2fx < 3x over 1 worker",
 			joinSpeedup8)
+	}
+	// Join-strategy gates. Cost-based Auto may never sit more than 5% over
+	// the best manual strategy on any shape (median of per-rep ratios), and
+	// the cost model must pick the twig join somewhere it actually pays —
+	// otherwise the holistic operator is dead weight.
+	for _, row := range rep.TwigVsBinary {
+		if row.AutoVsBest > 1.05 {
+			return fmt.Errorf("plan-choice regression: %s auto median %.3fx over best manual strategy (auto %d, nav %d, binary %d, twig %d ns/op)",
+				row.Name, row.AutoVsBest, row.AutoNs, row.NavNs, row.BinaryNs, row.TwigNs)
+		}
+	}
+	if !twigWinsSomewhere {
+		return fmt.Errorf("plan-choice regression: no shape had Auto pick the twig join where it beats the binary plan")
 	}
 	return nil
 }

@@ -268,8 +268,8 @@ func (r *runner) e5() {
 		tStack := r.timeIt(func() { structjoin.StackTreeDesc(a, b, false) })
 		tMerge := r.timeIt(func() { structjoin.TreeMergeDesc(a, b, false) })
 		tNav := r.timeIt(func() { structjoin.NavigationDesc(doc, localName("a"), localName("b"), false) })
-		engineQ := mustCompile(`count(//a//b)`, nil)
-		indexedQ := mustCompile(`count(//a//b)`, &xqgo.Options{UseStructuralJoins: true})
+		engineQ := mustCompile(`count(//a//b)`, &xqgo.Options{Strategy: xqgo.ForceNavigation})
+		indexedQ := mustCompile(`count(//a//b)`, &xqgo.Options{Strategy: xqgo.ForceBinaryJoin})
 		wrapped := xqgo.FromStore(doc)
 		tEngine := r.timeIt(func() { mustEval(engineQ, ctxFor(wrapped)) })
 		// Warm the per-document index cache so the row measures the join,
@@ -524,6 +524,13 @@ func (c *countWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p
 
 func max64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b

@@ -52,7 +52,8 @@ func main() {
 		maxResult = flag.Int64("max-result-bytes", 32<<20, "per-request serialized result cap (-1 = unlimited)")
 		maxQuery  = flag.Int64("max-query-bytes", 0, "per-query tracked-memory budget in bytes; overage fails the query with err:XQGO0001 (0 = unlimited)")
 		maxProc   = flag.Int64("max-process-bytes", 0, "process memory soft cap in bytes: sets the Go runtime soft limit and sheds new work with 503 when tracked bytes near it (0 = unlimited)")
-		joins     = flag.Bool("joins", false, "evaluate //a//b chains with structural joins over shared catalog indexes")
+		strategy  = flag.String("strategy", "auto", "join strategy for //a//b chains: auto (cost-based), navigation, binary-join, twig-join")
+		joins     = flag.Bool("joins", false, "deprecated: alias for -strategy binary-join")
 		memo      = flag.Bool("memo", false, "memoize pure user-function calls within each execution")
 		stripWS   = flag.Bool("strip-ws", false, "drop whitespace-only text nodes when parsing documents")
 		poolText  = flag.Bool("pool-text", false, "dictionary-pool repeated text values when parsing documents")
@@ -107,8 +108,8 @@ func main() {
 		DisableTracing:        *noTrace,
 		TraceRingSize:         *traceRing,
 		Options: xqgo.Options{
-			UseStructuralJoins: *joins,
-			MemoizeFunctions:   *memo,
+			Strategy:         parseStrategy(*strategy, *joins),
+			MemoizeFunctions: *memo,
 		},
 		ParseOptions: xqgo.ParseOptions{
 			StripWhitespace: *stripWS,
@@ -200,6 +201,27 @@ func main() {
 			srv.Close()
 		}
 		fmt.Println("xqd shut down")
+	}
+}
+
+// parseStrategy maps the -strategy flag (and the deprecated -joins bool)
+// to a join strategy. An explicit -strategy wins over -joins.
+func parseStrategy(name string, legacyJoins bool) xqgo.Strategy {
+	switch name {
+	case "", "auto":
+		if legacyJoins {
+			return xqgo.ForceBinaryJoin
+		}
+		return xqgo.StrategyAuto
+	case "navigation":
+		return xqgo.ForceNavigation
+	case "binary-join":
+		return xqgo.ForceBinaryJoin
+	case "twig-join":
+		return xqgo.ForceTwig
+	default:
+		fatal(fmt.Errorf("-strategy %q: want auto, navigation, binary-join or twig-join", name))
+		return xqgo.StrategyAuto // unreachable
 	}
 }
 

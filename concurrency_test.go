@@ -1,10 +1,10 @@
 package xqgo_test
 
 // Concurrent execution of one compiled *Query — the contract the service
-// layer's plan cache depends on. UseStructuralJoins and MemoizeFunctions
-// are both on because they are the options that keep per-execution state
-// (index cache, memo table); run with -race to verify that state stays
-// confined to each Context.
+// layer's plan cache depends on. A forced join strategy and
+// MemoizeFunctions are both on because they are the options that keep
+// per-execution state (index cache, memo table); run with -race to verify
+// that state stays confined to each Context.
 
 import (
 	"strings"
@@ -25,7 +25,7 @@ func TestQueryConcurrentEvalSharedPlan(t *testing.T) {
 			if ($n < 2) then $n else local:fib($n - 1) + local:fib($n - 2)
 		};
 		<out fib="{local:fib(15)}" ab="{count(//a//b)}" bc="{count(//b//c)}"/>`,
-		&xqgo.Options{UseStructuralJoins: true, MemoizeFunctions: true})
+		&xqgo.Options{Strategy: xqgo.ForceBinaryJoin, MemoizeFunctions: true})
 
 	want, err := q.EvalString(xqgo.NewContext().WithContextNode(doc))
 	if err != nil {

@@ -1,6 +1,6 @@
 // Structural joins: the second pillar of the reproduction — region-labeled
 // name indexes and stack-based join algorithms versus navigation, plus the
-// engine-integrated index mode (Options.UseStructuralJoins).
+// engine-integrated join strategies (Options.Strategy).
 package main
 
 import (
@@ -54,8 +54,8 @@ func main() {
 	// The engine-level integration: the same XQuery, navigation vs indexed.
 	fmt.Println()
 	query := `count(//a//b)`
-	nav := xqgo.MustCompile(query, nil)
-	indexed := xqgo.MustCompile(query, &xqgo.Options{UseStructuralJoins: true})
+	nav := xqgo.MustCompile(query, &xqgo.Options{Strategy: xqgo.ForceNavigation})
+	indexed := xqgo.MustCompile(query, &xqgo.Options{Strategy: xqgo.ForceBinaryJoin})
 
 	ctx := xqgo.NewContext().WithContextNode(doc)
 	t0 = time.Now()

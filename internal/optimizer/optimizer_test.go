@@ -1,10 +1,14 @@
-package optimizer
+// External test package: the equivalence harness needs internal/runtime,
+// which now imports internal/optimizer for the join-strategy cost model —
+// an in-package test file would be a test-only import cycle.
+package optimizer_test
 
 import (
 	"strings"
 	"testing"
 
 	"xqgo/internal/expr"
+	. "xqgo/internal/optimizer"
 	"xqgo/internal/runtime"
 	"xqgo/internal/serializer"
 	"xqgo/internal/xdm"

@@ -5,6 +5,7 @@ import (
 
 	"xqgo/internal/expr"
 	"xqgo/internal/functions"
+	"xqgo/internal/optimizer"
 	"xqgo/internal/projection"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xtypes"
@@ -16,10 +17,12 @@ type Options struct {
 	// sub-expression is fully evaluated before its consumer runs. This is
 	// the comparator for the streaming-vs-materialized experiments.
 	Eager bool
-	// UseStructuralJoins evaluates descendant-axis path chains (//a//b)
-	// with stack-tree structural joins over a lazily built per-document
-	// name index instead of navigation.
-	UseStructuralJoins bool
+	// Strategy is the join-strategy policy for join-eligible path chains
+	// (//a//b …): StrategyAuto (the resolved default) picks per branch and
+	// per document with the cost model in internal/optimizer; the Force*
+	// values pin one execution strategy. StrategyDefault resolves to Auto.
+	// A per-execution Dynamic.PlanHint overrides this at run time.
+	Strategy optimizer.Strategy
 	// MemoizeFunctions caches calls to pure user functions per execution
 	// (the paper's intra-query memoization).
 	MemoizeFunctions bool
@@ -50,7 +53,9 @@ type Prepared struct {
 	body    seqFn
 	globals []globalDef
 	query   *expr.Query
-	ops     []OpInfo // tagged operators, in compile order
+	ops     []OpInfo    // tagged operators, in compile order
+	opExpr  []expr.Expr // source expression per tagged operator (plan tree)
+	fb      *feedback   // observed output cardinalities, keyed by operator id
 }
 
 type globalDef struct {
@@ -74,11 +79,16 @@ type compiler struct {
 	nextID int
 	funcs  map[string]*userFunc // key: clark name + "/" + arity
 	ops    []OpInfo             // operators tagged so far (profiling ids)
+	opExpr []expr.Expr          // source expression per tagged operator
+	fb     *feedback            // shared with the Prepared; sized after compile
 }
 
 // Compile compiles a parsed query for the given engine options.
 func Compile(q *expr.Query, opts Options) (*Prepared, error) {
-	c := &compiler{opts: opts, funcs: map[string]*userFunc{}}
+	if opts.Strategy == optimizer.StrategyDefault {
+		opts.Strategy = optimizer.StrategyAuto
+	}
+	c := &compiler{opts: opts, funcs: map[string]*userFunc{}, fb: &feedback{}}
 	c.pushScope()
 
 	// Declare functions first (mutual recursion).
@@ -133,6 +143,9 @@ func Compile(q *expr.Query, opts Options) (*Prepared, error) {
 	}
 	p.body = body
 	p.ops = c.ops
+	p.opExpr = c.opExpr
+	c.fb.init(len(c.ops))
+	p.fb = c.fb
 	return p, nil
 }
 

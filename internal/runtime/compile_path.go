@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"xqgo/internal/expr"
+	"xqgo/internal/optimizer"
 	"xqgo/internal/store"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xtypes"
@@ -18,20 +19,44 @@ func (c *compiler) compilePath(n *expr.Path) (seqFn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if joined, ok := c.compileIndexedPath(n); ok {
-		// Tag the two strategies separately so a profile shows which one ran.
-		joined = c.tag("path[struct-join]", n, joined)
-		nav := c.tag("path", n, navFn)
-		return func(fr *Frame) Iter {
-			if it, haveCtx := fr.ContextItem(); haveCtx {
-				if _, isStore := it.(*store.Node); isStore {
-					return joined(fr)
-				}
-			}
-			return nav(fr) // non-store contexts fall back to navigation
-		}, nil
+	jp := extractJoinPlan(n)
+	if jp == nil {
+		fn, id := c.tagID("path", n, navFn)
+		if id >= 0 {
+			c.ops[id].Strategy = optimizer.StrategyNavigation.String()
+		}
+		return fn, nil
 	}
-	return c.tag("path", n, navFn), nil
+	// Join-eligible: both compilations are kept and one operator dispatches
+	// at run time — policy (hint > compiled option) first, then the cost
+	// model when the policy is Auto. The resolved choice lands on the
+	// operator's profile row, so explain output shows which strategy ran.
+	policy := c.opts.Strategy
+	fb := c.fb
+	opID := -1
+	fn := func(fr *Frame) Iter {
+		it, haveCtx := fr.ContextItem()
+		if !haveCtx {
+			return errIter(xdm.Errf("XPDY0002", "no context item for '/'"))
+		}
+		sn, isStore := it.(*store.Node)
+		if !isStore {
+			return navFn(fr) // non-store contexts always navigate
+		}
+		strat := fr.dyn.pathDecision(jp, sn.D, resolvePathStrategy(fr.dyn, policy), opID, fb)
+		switch strat {
+		case optimizer.StrategyBinaryJoin, optimizer.StrategyTwigJoin:
+			return jp.run(fr, sn, strat, opID, fb)
+		default:
+			return navFn(fr)
+		}
+	}
+	tagged, id := c.tagID("path", n, fn)
+	opID = id
+	if id >= 0 {
+		c.ops[id].Strategy = policy.String()
+	}
+	return tagged, nil
 }
 
 // compileNavPath is the navigation implementation of a path expression.

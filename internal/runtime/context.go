@@ -9,6 +9,7 @@ import (
 
 	"xqgo/internal/faultinject"
 	"xqgo/internal/limits"
+	"xqgo/internal/optimizer"
 	"xqgo/internal/projection"
 	"xqgo/internal/store"
 	"xqgo/internal/structjoin"
@@ -66,6 +67,11 @@ type Dynamic struct {
 	// worker forks — Budget is internally atomic.
 	Budget *limits.Budget
 
+	// PlanHint, when not StrategyDefault, overrides the compiled-in join
+	// strategy for this execution (Context.WithPlanHints): the per-request
+	// escape hatch over the plan-level Options.Strategy policy.
+	PlanHint optimizer.Strategy
+
 	// Workers is the morsel-parallelism target for this execution: the
 	// total number of workers (including the pulling goroutine) the
 	// morsel-split loops may use per round (see morsel.go). Zero or one
@@ -89,6 +95,10 @@ type Dynamic struct {
 	indexes indexCache
 	memo    memoCache
 	steps   atomic.Uint64
+	// plans caches the per-(operator, document) join-strategy decision for
+	// this execution (see strategy.go); guarded by planMu, lives on base.
+	planMu sync.Mutex
+	plans  map[planKey]optimizer.Strategy
 	// proj is the executing plan's static projection, installed by
 	// newRootFrame for the streamed-input parse. Atomic because a shared
 	// Context may back concurrent executions of the same plan (every
@@ -135,6 +145,7 @@ func (d *Dynamic) fork() *Dynamic {
 		Trace:       d.Trace,
 		TraceSpan:   d.TraceSpan,
 		Budget:      d.Budget,
+		PlanHint:    d.PlanHint,
 		Workers:     1, // workers never nest their own morsel rounds
 		root:        b,
 	}

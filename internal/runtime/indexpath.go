@@ -4,17 +4,22 @@ import (
 	"sync"
 
 	"xqgo/internal/expr"
+	"xqgo/internal/optimizer"
 	"xqgo/internal/store"
 	"xqgo/internal/structjoin"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xtypes"
 )
 
-// Index-accelerated path evaluation: when the engine is compiled with
-// UseStructuralJoins, descendant-axis path chains over plain name tests
-// (//a//b, /doc//a/b …) are evaluated with stack-tree structural joins over
-// a per-document name index instead of navigation — the "navigation- vs
-// index-based processing" trade-off the paper surveys. Indexes are built
+// Index-accelerated path evaluation: descendant-axis path chains over
+// plain name tests (//a//b, /doc//a/b …) can be evaluated over a
+// per-document name index instead of navigation — the "navigation- vs
+// index-based processing" trade-off the paper surveys — either with
+// stack-tree binary structural joins (one join per edge, materializing
+// intermediate lists) or with the holistic PathStack twig join (one pass
+// over all posting lists, no intermediates). Which of the three runs is
+// decided per operator and per document by the cost model (strategy.go),
+// unless forced by Options.Strategy or a plan hint. Indexes are built
 // lazily per document and cached on the dynamic context.
 
 // indexCache caches structjoin indexes per store document.
@@ -47,6 +52,16 @@ func (c *indexCache) indexFor(d *store.Document) (idx *structjoin.Index, built b
 	idx = structjoin.BuildIndex(d)
 	c.idxs[d] = idx
 	return idx, true
+}
+
+// ready reports whether an index for the document is already cached,
+// without building one — the cost model charges the build to strategies
+// that would have to perform it.
+func (c *indexCache) ready(d *store.Document) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.idxs[d]
+	return ok
 }
 
 // joinStep is one step of an extracted join chain.
@@ -133,19 +148,24 @@ func normalizeChain(raw []joinStep) ([]joinStep, bool) {
 	return out, true
 }
 
-// compileIndexedPath tries to compile a path into a structural-join plan.
-// Returns (nil, false) when the pattern is not join-shaped.
-func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
-	if !c.opts.UseStructuralJoins {
-		return nil, false
-	}
+// joinPlan is the index-join compilation of one join-eligible path: the
+// extracted chain plus the machinery to run it as either a binary
+// stack-tree pipeline or one holistic twig join. Its pointer identity keys
+// the per-execution strategy-decision cache.
+type joinPlan struct {
+	chain []joinStep
+}
+
+// extractJoinPlan recognizes join-shaped paths. Returns nil when the
+// pattern does not match (non-rooted, predicates, no descendant edge).
+func extractJoinPlan(n *expr.Path) *joinPlan {
 	raw, ok := extractJoinChain(n)
 	if !ok {
-		return nil, false
+		return nil
 	}
 	chain, ok := normalizeChain(raw)
 	if !ok || len(chain) < 1 {
-		return nil, false
+		return nil
 	}
 	// Only worthwhile when at least one edge is a descendant join.
 	hasDesc := false
@@ -155,50 +175,89 @@ func (c *compiler) compileIndexedPath(n *expr.Path) (seqFn, bool) {
 		}
 	}
 	if len(chain) == 1 || !hasDesc {
-		return nil, false
+		return nil
+	}
+	return &joinPlan{chain: chain}
+}
+
+// run executes the chain over the context node's document with the given
+// concrete strategy (binary or twig), records the output cardinality in
+// the plan's feedback cache, and feeds the result.
+func (jp *joinPlan) run(fr *Frame, sn *store.Node, strat optimizer.Strategy, opID int, fb *feedback) Iter {
+	idx, built := fr.dyn.base().indexes.indexFor(sn.D)
+	if built {
+		fr.dyn.Prof.addIndexBuild()
+	} else {
+		fr.dyn.Prof.addIndexHit()
 	}
 
-	return func(fr *Frame) Iter {
-		it, okCtx := fr.ContextItem()
-		if !okCtx {
-			return errIter(xdm.Errf("XPDY0002", "no context item for '/'"))
-		}
-		sn, isStore := it.(*store.Node)
-		if !isStore {
-			return nil // handled by caller fallback — should not happen
-		}
-		idx, built := fr.dyn.base().indexes.indexFor(sn.D)
-		if built {
-			fr.dyn.Prof.addIndexBuild()
-		} else {
-			fr.dyn.Prof.addIndexHit()
-		}
+	var cur structjoin.List
+	var err error
+	if strat == optimizer.StrategyTwigJoin {
+		fr.dyn.Prof.addTwigJoin()
+		cur, err = jp.runTwig(fr.dyn, idx)
+	} else {
+		cur, err = jp.runBinary(fr.dyn, idx)
+	}
+	if err != nil {
+		return errIter(err)
+	}
+	fb.record(opID, int64(len(cur)))
+	return &postingsIter{d: sn.D, list: cur, dyn: fr.dyn}
+}
 
-		// Seed: postings of the first chain name (its edge from the root is
-		// checked only when childOnly: level 1 under the document node).
-		cur := idx.Elements(chain[0].name)
-		if chain[0].childOnly {
-			var filtered structjoin.List
-			for _, p := range cur {
-				if p.Region.Level == 1 {
-					filtered = append(filtered, p)
-				}
-			}
-			cur = filtered
-		}
-		for _, s := range chain[1:] {
-			fr.dyn.Prof.addStructJoin()
-			var err error
-			cur, err = joinDescMorsel(fr.dyn, cur, idx.Elements(s.name), s.childOnly)
-			if err != nil {
-				return errIter(err)
-			}
-			if len(cur) == 0 {
-				break
+// seed returns the postings of the first chain name; its edge from the
+// root is checked only when childOnly (level 1 under the document node).
+func (jp *joinPlan) seed(idx *structjoin.Index) structjoin.List {
+	cur := idx.Elements(jp.chain[0].name)
+	if jp.chain[0].childOnly {
+		var filtered structjoin.List
+		for _, p := range cur {
+			if p.Region.Level == 1 {
+				filtered = append(filtered, p)
 			}
 		}
-		return &postingsIter{d: sn.D, list: cur, dyn: fr.dyn}
-	}, true
+		cur = filtered
+	}
+	return cur
+}
+
+// runBinary evaluates the chain as a pipeline of stack-tree binary joins,
+// one per edge, each morsel-parallel over the descendant list.
+func (jp *joinPlan) runBinary(dyn *Dynamic, idx *structjoin.Index) (structjoin.List, error) {
+	cur := jp.seed(idx)
+	for _, s := range jp.chain[1:] {
+		dyn.Prof.addStructJoin()
+		var err error
+		cur, err = joinDescMorsel(dyn, cur, idx.Elements(s.name), s.childOnly)
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// runTwig evaluates the whole chain with one holistic PathStack join: no
+// intermediate pair lists, morsel-parallel over the leaf posting list with
+// UpperBoundStart-pruned upper lists per chunk.
+func (jp *joinPlan) runTwig(dyn *Dynamic, idx *structjoin.Index) (structjoin.List, error) {
+	k := len(jp.chain)
+	lists := make([]structjoin.List, k)
+	childEdge := make([]bool, k)
+	lists[0] = jp.seed(idx)
+	for i := 1; i < k; i++ {
+		lists[i] = idx.Elements(jp.chain[i].name)
+		childEdge[i] = jp.chain[i].childOnly
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil, nil
+		}
+	}
+	return twigMatchMorsel(dyn, lists, childEdge)
 }
 
 // joinDescMorsel runs one structural-join step, splitting a large
@@ -232,6 +291,57 @@ func joinDescMorsel(d *Dynamic, anc, desc structjoin.List, parentOnly bool) (str
 		}
 		achunk := anc[:structjoin.UpperBoundStart(anc, dchunk[len(dchunk)-1].Region.Start)]
 		return structjoin.DistinctDescendants(structjoin.StackTreeDesc(achunk, dchunk, parentOnly)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(structjoin.List, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// twigMatchMorsel runs the holistic path join, splitting a large leaf
+// posting list into morsels matched by the worker pool. Every non-leaf
+// list is pruned per chunk to the prefix that can still contain the
+// chunk's leaves (ancestors start before their descendants —
+// UpperBoundStart, the same pruning the binary join uses), and because
+// the chunks partition a Start-sorted leaf list, per-chunk outputs are
+// disjoint, internally sorted, and ordered across chunks: concatenation
+// by chunk index reproduces the global result in document order.
+func twigMatchMorsel(d *Dynamic, lists []structjoin.List, childEdge []bool) (structjoin.List, error) {
+	leaf := lists[len(lists)-1]
+	chunks := (len(leaf) + joinMorselPostings - 1) / joinMorselPostings
+	if d == nil || d.Workers <= 1 || chunks < 2 {
+		return structjoin.PathMatchLeaf(lists, childEdge), nil
+	}
+	extra, release := d.leaseExtra(chunks - 1)
+	if extra == 0 {
+		return structjoin.PathMatchLeaf(lists, childEdge), nil
+	}
+	defer release()
+	parts, err := morselRound(d, extra, chunks, func(w *Dynamic, i int) (structjoin.List, error) {
+		lo := i * joinMorselPostings
+		hi := lo + joinMorselPostings
+		if hi > len(leaf) {
+			hi = len(leaf)
+		}
+		lchunk := leaf[lo:hi]
+		if err := w.CheckInterruptN(len(lchunk)); err != nil {
+			return nil, err
+		}
+		pruned := make([]structjoin.List, len(lists))
+		last := lchunk[len(lchunk)-1].Region.Start
+		for j := 0; j < len(lists)-1; j++ {
+			pruned[j] = lists[j][:structjoin.UpperBoundStart(lists[j], last)]
+		}
+		pruned[len(lists)-1] = lchunk
+		return structjoin.PathMatchLeaf(pruned, childEdge), nil
 	})
 	if err != nil {
 		return nil, err

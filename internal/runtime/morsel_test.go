@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"xqgo/internal/optimizer"
 	"xqgo/internal/serializer"
 	"xqgo/internal/xdm"
 	"xqgo/internal/xqparse"
@@ -482,7 +483,7 @@ func TestMorselWorkersAgreeWithSequential(t *testing.T) {
 			}
 		}
 		// Structural joins with workers.
-		par, perr := evalWorkers(t, q, 8, Options{UseStructuralJoins: true})
+		par, perr := evalWorkers(t, q, 8, Options{Strategy: optimizer.StrategyBinaryJoin})
 		if perr != nil && serr == nil {
 			t.Errorf("%s: structjoin workers error: %v", q, perr)
 		} else if serr == nil && seq != par {

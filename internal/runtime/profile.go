@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xqgo/internal/expr"
+	"xqgo/internal/optimizer"
 	"xqgo/internal/xdm"
 )
 
@@ -34,6 +35,10 @@ type OpInfo struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	EstItems int64  `json:"estItems"`
+	// Strategy is the compile-time join-strategy policy of a path operator
+	// ("auto", "navigation", …); empty for non-path operators. The strategy
+	// actually chosen at run time is reported per execution (OpReport).
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // opCounters are the per-operator statistics of one execution.
@@ -41,6 +46,7 @@ type opCounters struct {
 	starts atomic.Int64 // iterator instantiations
 	items  atomic.Int64 // items produced
 	nanos  atomic.Int64 // cumulative wall time inside Next (timed mode only)
+	strat  atomic.Int32 // join strategy chosen this execution (0 = none)
 }
 
 // engineCounters are execution-wide totals maintained by engine internals.
@@ -52,7 +58,14 @@ type engineCounters struct {
 	indexHits         atomic.Int64
 	indexBuilds       atomic.Int64
 	structJoins       atomic.Int64
+	twigJoins         atomic.Int64
 	interruptPolls    atomic.Int64
+
+	// Plan choices resolved by join-eligible path operators this execution,
+	// by winning strategy (once per operator × document, not per tuple).
+	planNavigation atomic.Int64
+	planBinaryJoin atomic.Int64
+	planTwigJoin   atomic.Int64
 
 	// Ingestion counters (lazy/projected parsing, see internal/xmlparse).
 	docNodesBuilt atomic.Int64
@@ -186,6 +199,32 @@ func (p *Profile) addStructJoin() {
 	}
 }
 
+func (p *Profile) addTwigJoin() {
+	if p != nil {
+		p.c.twigJoins.Add(1)
+	}
+}
+
+// notePlanChoice records the join strategy a path operator resolved to:
+// once on the operator's row (for explain output) and once on the
+// execution-wide per-strategy totals (for the /metrics counter).
+func (p *Profile) notePlanChoice(id int, s optimizer.Strategy) {
+	if p == nil {
+		return
+	}
+	if id >= 0 && id < len(p.ops) {
+		p.ops[id].strat.Store(int32(s))
+	}
+	switch s {
+	case optimizer.StrategyNavigation:
+		p.c.planNavigation.Add(1)
+	case optimizer.StrategyBinaryJoin:
+		p.c.planBinaryJoin.Add(1)
+	case optimizer.StrategyTwigJoin:
+		p.c.planTwigJoin.Add(1)
+	}
+}
+
 func (p *Profile) addInterruptPoll() {
 	if p != nil {
 		p.c.interruptPolls.Add(1)
@@ -284,6 +323,9 @@ func (p *Profile) foldShard(sh *Profile) {
 		if v := o.nanos.Load(); v != 0 {
 			p.ops[i].nanos.Add(v)
 		}
+		if v := o.strat.Load(); v != 0 {
+			p.ops[i].strat.Store(v)
+		}
 	}
 	p.Merge(sh.Report().Counters)
 }
@@ -305,7 +347,11 @@ func (p *Profile) Merge(c CounterReport) {
 	p.c.indexHits.Add(c.IndexHits)
 	p.c.indexBuilds.Add(c.IndexBuilds)
 	p.c.structJoins.Add(c.StructJoins)
+	p.c.twigJoins.Add(c.TwigJoins)
 	p.c.interruptPolls.Add(c.InterruptPolls)
+	p.c.planNavigation.Add(c.PlanNavigation)
+	p.c.planBinaryJoin.Add(c.PlanBinaryJoin)
+	p.c.planTwigJoin.Add(c.PlanTwigJoin)
 	p.c.docNodesBuilt.Add(c.DocNodesBuilt)
 	p.c.nodesSkipped.Add(c.NodesSkipped)
 	p.c.bytesParsed.Add(c.BytesParsedOnDemand)
@@ -328,6 +374,10 @@ type OpReport struct {
 	Items    int64  `json:"items"`
 	Nanos    int64  `json:"nanos,omitempty"`
 	EstItems int64  `json:"estItems"`
+	// Strategy is the join strategy this path operator resolved to during
+	// the execution ("navigation", "binary-join", "twig-join"); empty for
+	// operators that made no such choice.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // CounterReport is the engine-wide counter section of a profile report.
@@ -339,7 +389,12 @@ type CounterReport struct {
 	IndexHits         int64 `json:"indexHits"`
 	IndexBuilds       int64 `json:"indexBuilds"`
 	StructJoins       int64 `json:"structJoins"`
+	TwigJoins         int64 `json:"twigJoins"`
 	InterruptPolls    int64 `json:"interruptPolls"`
+	// Plan choices resolved by join-eligible path operators, by winner.
+	PlanNavigation int64 `json:"planNavigation"`
+	PlanBinaryJoin int64 `json:"planBinaryJoin"`
+	PlanTwigJoin   int64 `json:"planTwigJoin"`
 	// Ingestion: nodes appended to lazily parsed documents, nodes skipped
 	// by projection (tokenized but never built), and input bytes pulled on
 	// demand.
@@ -372,12 +427,16 @@ func (p *Profile) Report() Report {
 			continue
 		}
 		info := p.infos[i]
-		rep.Operators = append(rep.Operators, OpReport{
+		row := OpReport{
 			ID: info.ID, Kind: info.Kind, Detail: info.Detail,
 			Line: info.Line, Col: info.Col,
 			Starts: starts, Items: op.items.Load(), Nanos: op.nanos.Load(),
 			EstItems: info.EstItems,
-		})
+		}
+		if s := op.strat.Load(); s != 0 {
+			row.Strategy = optimizer.Strategy(s).String()
+		}
+		rep.Operators = append(rep.Operators, row)
 	}
 	rep.Counters = CounterReport{
 		XMLTokens:             p.c.xmlTokens.Load(),
@@ -387,7 +446,11 @@ func (p *Profile) Report() Report {
 		IndexHits:             p.c.indexHits.Load(),
 		IndexBuilds:           p.c.indexBuilds.Load(),
 		StructJoins:           p.c.structJoins.Load(),
+		TwigJoins:             p.c.twigJoins.Load(),
 		InterruptPolls:        p.c.interruptPolls.Load(),
+		PlanNavigation:        p.c.planNavigation.Load(),
+		PlanBinaryJoin:        p.c.planBinaryJoin.Load(),
+		PlanTwigJoin:          p.c.planTwigJoin.Load(),
 		DocNodesBuilt:         p.c.docNodesBuilt.Load(),
 		NodesSkipped:          p.c.nodesSkipped.Load(),
 		BytesParsedOnDemand:   p.c.bytesParsed.Load(),
@@ -407,8 +470,16 @@ func (p *Prepared) Operators() []OpInfo { return p.ops }
 // with the profiling hook. With NoProfileHooks the function is returned
 // untouched and no id is allocated.
 func (c *compiler) tag(kind string, e expr.Expr, fn seqFn) seqFn {
+	fn, _ = c.tagID(kind, e, fn)
+	return fn
+}
+
+// tagID is tag, additionally returning the allocated operator id (-1 when
+// NoProfileHooks elides the wrapper). Path compilation uses the id to key
+// the cardinality-feedback cache and to attribute plan choices to the row.
+func (c *compiler) tagID(kind string, e expr.Expr, fn seqFn) (seqFn, int) {
 	if c.opts.NoProfileHooks {
-		return fn
+		return fn, -1
 	}
 	id := len(c.ops)
 	pos := e.Span()
@@ -416,13 +487,14 @@ func (c *compiler) tag(kind string, e expr.Expr, fn seqFn) seqFn {
 		ID: id, Kind: kind, Detail: exprSummary(e), Line: pos.Line, Col: pos.Col,
 		EstItems: estimate(e),
 	})
+	c.opExpr = append(c.opExpr, e)
 	return func(fr *Frame) Iter {
 		p := fr.dyn.Prof
 		if p == nil {
 			return fn(fr)
 		}
 		return p.instrument(id, fn(fr))
-	}
+	}, id
 }
 
 // exprSummary renders a compact single-line summary of an expression for

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"xqgo"
 )
 
 // ---- Prometheus exposition ----
@@ -283,5 +285,62 @@ func TestQueryExplainHTTP(t *testing.T) {
 	}
 	if plain.Profile != nil {
 		t.Error("profile attached without explain")
+	}
+}
+
+// ---- plan-choice observability ----
+
+// The explain envelope, the slow-query log and /metrics all surface which
+// join strategy an execution resolved to and how far off the cardinality
+// estimate was.
+func TestPlanChoiceObservability(t *testing.T) {
+	s := newTestService(t, Config{
+		Options:            xqgo.Options{Strategy: xqgo.ForceTwig},
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+	})
+	res, err := s.Query(context.Background(), Request{
+		Query: "count(/bib//book//title)", ContextDoc: "bib", Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("explain returned no profile")
+	}
+	if res.Profile.Strategy != "twig-join" {
+		t.Errorf("explain strategy = %q, want twig-join", res.Profile.Strategy)
+	}
+	if res.Profile.Counters.TwigJoins == 0 {
+		t.Error("twig execution counted no twig joins")
+	}
+	if res.Profile.Counters.PlanTwigJoin == 0 {
+		t.Error("plan-choice counter did not record the twig decision")
+	}
+	if res.Profile.CardinalityError < 0 {
+		t.Errorf("cardinality error = %g, want >= 0", res.Profile.CardinalityError)
+	}
+
+	entries, _ := s.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("no slow entry recorded")
+	}
+	if entries[0].Strategy != "twig-join" {
+		t.Errorf("slow entry strategy = %q, want twig-join", entries[0].Strategy)
+	}
+
+	h := NewHTTPHandler(s)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	validatePromText(t, body)
+	for _, want := range []string{
+		`xqd_engine_twig_joins_total`,
+		`xqd_plan_choice_total{strategy="navigation"}`,
+		`xqd_plan_choice_total{strategy="binary-join"} 0`,
+		`xqd_plan_choice_total{strategy="twig-join"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -30,9 +31,13 @@ type Config struct {
 	// MaxResultBytes caps the serialized result size per request
 	// (default 32 MiB; negative = unlimited).
 	MaxResultBytes int64
-	// Options are the compile options applied to every query (e.g. turn on
-	// UseStructuralJoins to serve descendant chains from the shared
-	// catalog indexes).
+	// Options are the compile options applied to every query. The join
+	// strategy defaults to cost-based selection (StrategyAuto): catalog
+	// documents get shared structural-join indexes seeded into every
+	// request, so the planner prices them as free and switches descendant
+	// chains to joins whenever the estimates favor them. Set
+	// Options.Strategy to pin one engine (ForceNavigation disables index
+	// seeding entirely).
 	Options xqgo.Options
 	// ParseOptions apply when registering documents.
 	ParseOptions xqgo.ParseOptions
@@ -285,10 +290,20 @@ type ExplainProfile struct {
 	RuleFires map[string]int `json:"ruleFires,omitempty"`
 	// Plan is the optimized expression tree rendering.
 	Plan string `json:"plan,omitempty"`
+	// Strategy is the join strategy the path operators resolved to during
+	// this execution ("navigation", "binary-join", "twig-join"; "mixed"
+	// when different branches chose differently; empty when no
+	// join-eligible path ran).
+	Strategy string `json:"strategy,omitempty"`
+	// CardinalityError is the worst estimate-vs-observed relative error
+	// across the operators that made a strategy choice:
+	// |estimated - observed| / max(observed, 1) per instantiation. It is
+	// the signal the planner's feedback cache corrects on the next run.
+	CardinalityError float64 `json:"cardinalityError,omitempty"`
 }
 
 func explainProfile(q *xqgo.Query, rep xqgo.ProfileReport) *ExplainProfile {
-	return &ExplainProfile{
+	ep := &ExplainProfile{
 		Timed:     rep.Timed,
 		Operators: rep.Operators,
 		Counters:  rep.Counters,
@@ -296,6 +311,25 @@ func explainProfile(q *xqgo.Query, rep xqgo.ProfileReport) *ExplainProfile {
 		RuleFires: q.RuleFires(),
 		Plan:      q.Plan(),
 	}
+	for _, op := range rep.Operators {
+		if op.Strategy == "" {
+			continue
+		}
+		switch ep.Strategy {
+		case "", op.Strategy:
+			ep.Strategy = op.Strategy
+		default:
+			ep.Strategy = "mixed"
+		}
+		if op.Starts > 0 {
+			observed := float64(op.Items) / float64(op.Starts)
+			e := math.Abs(float64(op.EstItems)-observed) / math.Max(observed, 1)
+			if e > ep.CardinalityError {
+				ep.CardinalityError = e
+			}
+		}
+	}
+	return ep
 }
 
 // SlowQueries returns the retained slow-query log entries (newest first)
@@ -507,6 +541,7 @@ func (s *Service) run(ctx context.Context, req Request, w io.Writer) (cached boo
 				Time: time.Now(), Query: req.Query, Doc: req.ContextDoc,
 				Micros: elapsed.Microseconds(), Outcome: oc.String(),
 				Cached: cached, Profile: ep, TraceID: traceID,
+				Strategy: ep.Strategy, CardinalityError: ep.CardinalityError,
 			})
 		}
 	}
@@ -534,10 +569,14 @@ func classify(err error) outcome {
 // call (ExecuteContext), not here.
 func (s *Service) buildContext(req Request) (*xqgo.Context, error) {
 	qctx := xqgo.NewContext()
+	// Index seeding follows the effective join strategy: anything but
+	// ForceNavigation can use the shared catalog indexes (under Auto the
+	// cost model prices a seeded index as free).
+	seedIndexes := s.cfg.Options.EffectiveStrategy() != xqgo.ForceNavigation
 	entries := s.Catalog.snapshot()
 	for _, e := range entries {
 		qctx.RegisterDocument(e.Name, e.Doc)
-		if s.cfg.Options.UseStructuralJoins {
+		if seedIndexes {
 			if idx, ok := e.builtIndex(); ok {
 				qctx.SeedIndex(e.Doc, idx)
 			}
@@ -556,7 +595,7 @@ func (s *Service) buildContext(req Request) (*xqgo.Context, error) {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, req.ContextDoc)
 		}
 		qctx.WithContextNode(e.Doc)
-		if s.cfg.Options.UseStructuralJoins {
+		if seedIndexes {
 			// Force-build (once) and share the index for the document the
 			// query will actually navigate.
 			qctx.SeedIndex(e.Doc, e.Index())

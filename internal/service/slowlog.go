@@ -26,6 +26,13 @@ type SlowEntry struct {
 	Cached bool `json:"cached"`
 	// Profile is the execution profile, when profiling was enabled.
 	Profile *ExplainProfile `json:"profile,omitempty"`
+	// Strategy is the join strategy the execution's path operators resolved
+	// to (see ExplainProfile.Strategy); surfaced here so /slow is scannable
+	// for plan-choice regressions without expanding each profile.
+	Strategy string `json:"strategy,omitempty"`
+	// CardinalityError is the execution's worst estimate-vs-observed
+	// relative cardinality error (see ExplainProfile.CardinalityError).
+	CardinalityError float64 `json:"cardinalityError,omitempty"`
 	// TraceID links the entry to its captured span tree in GET /traces/{id},
 	// letting a slow request be reconstructed stage by stage offline.
 	TraceID string `json:"traceId,omitempty"`

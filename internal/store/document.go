@@ -50,6 +50,10 @@ type Document struct {
 	// feed is the parse frontier while the document is under construction
 	// (lazy.go); nil once complete.
 	feed atomic.Pointer[frontier]
+
+	// stats caches the per-document statistics (stats.go). Computed at most
+	// once per completed document; racing computations are idempotent.
+	stats atomic.Pointer[DocStats]
 }
 
 // NumNodes returns the number of nodes (of all kinds) in the document,

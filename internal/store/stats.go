@@ -1,0 +1,74 @@
+package store
+
+import (
+	"xqgo/internal/xdm"
+)
+
+// Per-document statistics for the cost-based planner: document size, tag
+// selectivity (per-name element counts — exactly the posting-list lengths a
+// structural index would hold), and depth/fanout shape. Collected in one
+// O(nodes) pass over the parsed arrays and cached on the document, so the
+// planner can cost index-based strategies without building the index first.
+
+// DocStats summarizes one document for planning purposes.
+type DocStats struct {
+	Nodes     int64   // nodes of all kinds
+	Elements  int64   // element nodes
+	MaxLevel  int32   // deepest node level
+	AvgDepth  float64 // mean element level (region-label depth)
+	AvgFanout float64 // mean element children per non-leaf element
+
+	names     *NamePool
+	nameCount []int64 // element count per name-pool index
+}
+
+// ElementCount returns the number of elements named q (the posting-list
+// length of q in a structural index over this document).
+func (s *DocStats) ElementCount(q xdm.QName) int64 {
+	if s == nil || s.names == nil {
+		return 0
+	}
+	if i := s.names.Lookup(q); i >= 0 && int(i) < len(s.nameCount) {
+		return s.nameCount[i]
+	}
+	return 0
+}
+
+// Stats returns the document's statistics, computing and caching them on
+// first use. An in-progress (lazy) document is driven to completion first —
+// planners that must not force the parse check Lazy() before calling.
+func (d *Document) Stats() *DocStats {
+	if s := d.stats.Load(); s != nil {
+		return s
+	}
+	n := d.NumNodes() // completes a lazy parse; arrays are final below
+	s := &DocStats{Nodes: int64(n), names: d.Names, nameCount: make([]int64, d.Names.Len())}
+	var levelSum int64
+	var withChildren int64
+	for id := 0; id < n; id++ {
+		if lv := d.level[id]; lv > s.MaxLevel {
+			s.MaxLevel = lv
+		}
+		if d.kind[id] != xdm.ElementNode {
+			continue
+		}
+		s.Elements++
+		levelSum += int64(d.level[id])
+		if ni := d.name[id]; ni >= 0 && int(ni) < len(s.nameCount) {
+			s.nameCount[ni]++
+		}
+		if d.firstChild[id] >= 0 {
+			withChildren++
+		}
+	}
+	if s.Elements > 0 {
+		s.AvgDepth = float64(levelSum) / float64(s.Elements)
+	}
+	if withChildren > 0 {
+		// Every non-root element is someone's child: mean children per
+		// interior element ~ elements / elements-with-children.
+		s.AvgFanout = float64(s.Elements) / float64(withChildren)
+	}
+	d.stats.Store(s)
+	return s
+}

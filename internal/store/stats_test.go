@@ -1,0 +1,87 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"xqgo/internal/xdm"
+)
+
+// TestDocStats pins the planner-facing statistics on the buildSample
+// document:
+//
+//	<book year="1967">              level 1
+//	  <title>…</title>              level 2
+//	  <author>                      level 2
+//	    <first>…</first>            level 3
+//	    <last>…</last>              level 3
+//	  </author>
+//	</book>
+func TestDocStats(t *testing.T) {
+	doc := buildSample(t)
+	s := doc.Stats()
+	if s.Nodes != 10 {
+		t.Errorf("Nodes = %d, want 10", s.Nodes)
+	}
+	if s.Elements != 5 {
+		t.Errorf("Elements = %d, want 5 (book, title, author, first, last)", s.Elements)
+	}
+	// Element levels: 1 + 2 + 2 + 3 + 3 = 11 over 5 elements.
+	if want := 11.0 / 5.0; s.AvgDepth != want {
+		t.Errorf("AvgDepth = %g, want %g", s.AvgDepth, want)
+	}
+	// Text nodes sit at level 4 under first/last.
+	if s.MaxLevel != 4 {
+		t.Errorf("MaxLevel = %d, want 4", s.MaxLevel)
+	}
+	// Elements with element-or-text children: book, title, author, first,
+	// last all have children here, so fanout = 5/5.
+	if s.AvgFanout != 1.0 {
+		t.Errorf("AvgFanout = %g, want 1", s.AvgFanout)
+	}
+	counts := map[string]int64{
+		"book": 1, "title": 1, "author": 1, "first": 1, "last": 1,
+		"nosuch": 0,
+	}
+	for name, want := range counts {
+		if got := s.ElementCount(xdm.LocalName(name)); got != want {
+			t.Errorf("ElementCount(%s) = %d, want %d", name, got, want)
+		}
+	}
+	// Attribute names are in the pool but are not elements.
+	if got := s.ElementCount(xdm.LocalName("year")); got != 0 {
+		t.Errorf("ElementCount(year) = %d, want 0 (attribute)", got)
+	}
+}
+
+// Stats are computed once and shared: concurrent first calls must agree and
+// later calls must return the cached pointer.
+func TestDocStatsCachedAndConcurrent(t *testing.T) {
+	doc := buildSample(t)
+	const goroutines = 16
+	results := make([]*DocStats, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = doc.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range results {
+		if s.Nodes != 10 || s.Elements != 5 {
+			t.Errorf("goroutine %d: Nodes=%d Elements=%d", i, s.Nodes, s.Elements)
+		}
+	}
+	if doc.Stats() != doc.Stats() {
+		t.Error("Stats not cached: two calls returned different pointers")
+	}
+}
+
+func TestDocStatsNilSafety(t *testing.T) {
+	var s *DocStats
+	if got := s.ElementCount(xdm.LocalName("a")); got != 0 {
+		t.Errorf("nil DocStats ElementCount = %d, want 0", got)
+	}
+}

@@ -1,0 +1,92 @@
+package structjoin
+
+// Output-producing holistic path join (the PathStack member of the
+// TwigStack family, Bruno/Koudas/Srivastava): one synchronized pass over
+// the k Start-sorted posting lists of a linear chain q1//q2/…//qk, with one
+// stack per non-leaf step holding the currently open (nested) matches.
+// Unlike the binary stack-tree plan, no intermediate pair list is ever
+// materialized — total work is O(Σ|list_i| + |out|) regardless of how
+// poorly the chain's prefixes select.
+//
+// TwigStack in twig.go is the counting variant over branching patterns;
+// this file is the execution operator the runtime dispatches to, so it
+// returns the actual leaf postings (what a path expression evaluates to).
+
+// PathMatchLeaf returns the distinct postings of the last list that
+// terminate at least one full root-to-leaf match of the chain, in document
+// order. childEdge[i] constrains the edge between step i-1 and step i to
+// parent/child; childEdge[0] is ignored (callers pre-filter the top list
+// against the document root). Lists must be Start-sorted, as built by
+// BuildIndex. The inputs are read-only, so concurrent calls over shared
+// (differently pruned) lists are safe — the morsel decomposition the
+// runtime uses relies on this.
+func PathMatchLeaf(lists []List, childEdge []bool) List {
+	k := len(lists)
+	if k == 0 {
+		return nil
+	}
+	if k == 1 {
+		return append(List(nil), lists[0]...)
+	}
+	pos := make([]int, k)
+	stacks := make([][]Posting, k-1) // leaf matches are emitted, never stacked
+	var out List
+	for pos[k-1] < len(lists[k-1]) {
+		// qmin: stream with the smallest next Start. Ties go to the
+		// shallower (outer) stream so an ancestor is stacked before an
+		// equal-Start inner read could observe it missing.
+		qmin := -1
+		minStart := infStart
+		for i := 0; i < k; i++ {
+			if pos[i] < len(lists[i]) && lists[i][pos[i]].Region.Start < minStart {
+				qmin, minStart = i, lists[i][pos[i]].Region.Start
+			}
+		}
+		if qmin < 0 {
+			break
+		}
+		cur := lists[qmin][pos[qmin]]
+		pos[qmin]++
+
+		if qmin == 0 {
+			stacks[0] = append(stacks[0], cur)
+			continue
+		}
+		// Pop parent entries whose region closed before cur starts. Only the
+		// top of the stack is examined, so a closed sibling can survive
+		// beneath a still-open entry pushed after it ([b1(10-20), b2(30-40)]
+		// when cur starts at 35) — the containment check below is therefore
+		// mandatory, not an optimization: Start< alone would let that stale
+		// sibling fake a match (visibly so on child edges, where the level
+		// test rejects the open container but accepts the closed twin).
+		ps := stacks[qmin-1]
+		for len(ps) > 0 && ps[len(ps)-1].Region.End < cur.Region.Start {
+			ps = ps[:len(ps)-1]
+		}
+		stacks[qmin-1] = ps
+		matched := false
+		for i := len(ps) - 1; i >= 0; i-- {
+			// Contains is strict on Start, which also rejects the same-Start
+			// twin of a q_{i-1}=q_i self-chain.
+			if !ps[i].Region.Contains(cur.Region) {
+				continue
+			}
+			if childEdge[qmin] && ps[i].Region.Level+1 != cur.Region.Level {
+				continue
+			}
+			matched = true
+			break
+		}
+		if !matched {
+			continue // no root path through cur: drop it
+		}
+		if qmin == k-1 {
+			// Leaf postings arrive in Start order and each is read once, so
+			// out is distinct and in document order by construction.
+			out = append(out, cur)
+		} else {
+			stacks[qmin] = append(stacks[qmin], cur)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package structjoin
+
+import (
+	"fmt"
+	"testing"
+
+	"xqgo/internal/store"
+	"xqgo/internal/workload"
+	"xqgo/internal/xdm"
+	"xqgo/internal/xmlparse"
+)
+
+func mustParse(t *testing.T, xml string) *store.Document {
+	t.Helper()
+	doc, err := xmlparse.ParseString(xml, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// binaryChain is the reference semantics for PathMatchLeaf: the chain
+// evaluated edge by edge as binary stack-tree joins, projecting distinct
+// descendants between steps — exactly what the runtime's binary plan does.
+func binaryChain(lists []List, childEdge []bool) List {
+	cur := lists[0]
+	for i := 1; i < len(lists); i++ {
+		cur = DistinctDescendants(StackTreeDesc(cur, lists[i], childEdge[i]))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func sameList(a, b List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPathMatchLeafMatchesBinaryPlan: the holistic path join must return
+// byte-identical leaf postings to the chained binary plan on every chain
+// shape, including child edges and self-chains, across generated documents.
+func TestPathMatchLeafMatchesBinaryPlan(t *testing.T) {
+	chains := []struct {
+		names []string
+		child []bool // child[0] unused
+	}{
+		{[]string{"a", "b"}, []bool{false, false}},
+		{[]string{"a", "b", "c"}, []bool{false, false, false}},
+		{[]string{"a", "b", "c"}, []bool{false, false, true}},
+		{[]string{"a", "b", "c"}, []bool{false, true, false}},
+		{[]string{"a", "b", "c", "d"}, []bool{false, false, true, false}},
+		// Self-chains: strict containment must reject the same node as its
+		// own ancestor, and a//a/a mixes both edge kinds over one list.
+		{[]string{"a", "a"}, []bool{false, false}},
+		{[]string{"a", "a", "a"}, []bool{false, false, true}},
+	}
+	docs := []workload.DeepConfig{
+		{Nodes: 2000, Seed: 1},
+		{Nodes: 6000, MaxDepth: 30, Fanout: 2, Seed: 2},
+		{Nodes: 6000, MaxDepth: 5, Fanout: 20, Seed: 3},
+		{Nodes: 6000, Names: []string{"a", "a", "a", "b", "z"}, Seed: 4},
+	}
+	for di, cfg := range docs {
+		idx := BuildIndex(workload.Deep(cfg))
+		for _, ch := range chains {
+			lists := make([]List, len(ch.names))
+			for i, n := range ch.names {
+				lists[i] = idx.Elements(xdm.LocalName(n))
+			}
+			want := binaryChain(lists, ch.child)
+			got := PathMatchLeaf(lists, ch.child)
+			if !sameList(got, want) {
+				t.Errorf("doc %d chain %v child %v: twig %d postings != binary %d",
+					di, ch.names, ch.child, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestPathMatchLeafClosedSibling pins the stale-stack regression: a closed
+// b sibling below a still-open deeper b must not satisfy a child edge for
+// a c whose real parent is neither.
+//
+//	<root>
+//	  <a>
+//	    <b/>              b1: closed before c starts, at c's parent level
+//	    <x><x><b>         b2: open, contains c, but two levels up
+//	      <x><c/></x>
+//	    </b></x></x>
+//	  </a>
+//	</root>
+func TestPathMatchLeafClosedSibling(t *testing.T) {
+	doc := mustParse(t, `<root><a><b/><x><x><b><x><c/></x></b></x></x></a></root>`)
+	idx := BuildIndex(doc)
+	lists := []List{
+		idx.Elements(xdm.LocalName("a")),
+		idx.Elements(xdm.LocalName("b")),
+		idx.Elements(xdm.LocalName("c")),
+	}
+	if got := PathMatchLeaf(lists, []bool{false, false, true}); len(got) != 0 {
+		t.Errorf("a//b/c matched %d leaves; c's parent is x, want 0", len(got))
+	}
+	if got := PathMatchLeaf(lists, []bool{false, false, false}); len(got) != 1 {
+		t.Errorf("a//b//c matched %d leaves, want 1", len(got))
+	}
+}
+
+func TestPathMatchLeafDegenerate(t *testing.T) {
+	idx := BuildIndex(workload.Deep(workload.DeepConfig{Nodes: 500, Seed: 5}))
+	a := idx.Elements(xdm.LocalName("a"))
+	if got := PathMatchLeaf(nil, nil); got != nil {
+		t.Errorf("empty chain: %v", got)
+	}
+	if got := PathMatchLeaf([]List{a}, []bool{false}); !sameList(got, a) {
+		t.Error("single-step chain must copy the list through")
+	}
+	if got := PathMatchLeaf([]List{a, nil}, []bool{false, false}); len(got) != 0 {
+		t.Errorf("empty leaf list: %d postings", len(got))
+	}
+	if got := PathMatchLeaf([]List{nil, a}, []bool{false, false}); len(got) != 0 {
+		t.Errorf("empty root list: %d postings", len(got))
+	}
+}
+
+func BenchmarkPathMatchLeafVsBinary(b *testing.B) {
+	idx := BuildIndex(workload.Deep(workload.DeepConfig{
+		Nodes: 60000, MaxDepth: 40, Fanout: 2, Seed: 3}))
+	lists := []List{
+		idx.Elements(xdm.LocalName("a")),
+		idx.Elements(xdm.LocalName("b")),
+		idx.Elements(xdm.LocalName("c")),
+	}
+	child := []bool{false, false, false}
+	for _, algo := range []struct {
+		name string
+		fn   func() List
+	}{
+		{"twig", func() List { return PathMatchLeaf(lists, child) }},
+		{"binary", func() List { return binaryChain(lists, child) }},
+	} {
+		b.Run(fmt.Sprintf("%s/a-b-c", algo.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				algo.fn()
+			}
+		})
+	}
+}

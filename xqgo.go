@@ -47,6 +47,11 @@ type (
 )
 
 // EngineKind selects the evaluation engine.
+//
+// Deprecated: raw engine toggling is a mechanism knob. Callers tuning how
+// queries execute should express intent through Options.Strategy (or a
+// per-execution Context.WithPlanHints) and leave the engine alone; Eager
+// remains available as the differential-testing comparator.
 type EngineKind int
 
 const (
@@ -58,18 +63,50 @@ const (
 	Eager
 )
 
+// Strategy is the join-strategy policy for join-eligible path chains
+// (//a//b/c …): how the engine evaluates rooted descendant-axis chains over
+// plain name tests. The zero value defers to the deprecated
+// UseStructuralJoins knob and otherwise means StrategyAuto.
+type Strategy = optimizer.Strategy
+
+const (
+	// StrategyAuto (the default) picks per branch and per document with the
+	// cost model: store statistics (document size, tag selectivity, depth),
+	// whether a structural index is already cached, and output cardinalities
+	// observed on prior runs of the same plan.
+	StrategyAuto = optimizer.StrategyAuto
+	// ForceNavigation pins tree navigation (the index-free baseline).
+	ForceNavigation = optimizer.StrategyNavigation
+	// ForceBinaryJoin pins stack-tree binary structural joins.
+	ForceBinaryJoin = optimizer.StrategyBinaryJoin
+	// ForceTwig pins the holistic twig (PathStack) join.
+	ForceTwig = optimizer.StrategyTwigJoin
+)
+
 // Options configure compilation.
 type Options struct {
 	// Engine selects streaming (default) or the eager baseline.
+	//
+	// Deprecated: see EngineKind. Use Strategy to steer execution.
 	Engine EngineKind
 	// NoOptimize disables the rewriting optimizer entirely.
 	NoOptimize bool
 	// DisableRules turns off individual optimizer rules by name (see
 	// the optimizer rule constants re-exported below).
 	DisableRules []string
+	// Strategy selects how join-eligible path chains execute: StrategyAuto
+	// (cost-based, the default) or one of the Force* escape hatches for
+	// testing and measurement. A per-execution Context.WithPlanHints
+	// overrides it.
+	Strategy Strategy
 	// UseStructuralJoins evaluates descendant-axis path chains (//a//b)
 	// with stack-tree structural joins over a lazily built per-document
 	// name index instead of navigation — the index-based processing mode.
+	//
+	// Deprecated: set Strategy to ForceBinaryJoin instead (this knob maps
+	// to exactly that, and is ignored when Strategy is set). The default
+	// behavior is now StrategyAuto, which uses structural and twig joins
+	// whenever the cost model prices them below navigation.
 	UseStructuralJoins bool
 	// MemoizeFunctions caches calls to pure user functions within one
 	// execution (intra-query memoization).
@@ -146,11 +183,11 @@ func Compile(src string, opts *Options) (*Query, error) {
 		q = optimizer.Optimize(q, oo)
 	}
 	ro := runtime.Options{
-		Eager:              opts.Engine == Eager,
-		UseStructuralJoins: opts.UseStructuralJoins,
-		MemoizeFunctions:   opts.MemoizeFunctions,
-		Parallel:           opts.Parallel,
-		NoBatch:            opts.DisableBatching,
+		Eager:            opts.Engine == Eager,
+		Strategy:         opts.EffectiveStrategy(),
+		MemoizeFunctions: opts.MemoizeFunctions,
+		Parallel:         opts.Parallel,
+		NoBatch:          opts.DisableBatching,
 	}
 	if !opts.DisableProjection {
 		// Static path projection: the set of root-reachable paths the query
@@ -173,8 +210,25 @@ func MustCompile(src string, opts *Options) *Query {
 	return q
 }
 
+// EffectiveStrategy resolves the configured strategy policy: an explicit
+// Strategy wins, the deprecated UseStructuralJoins knob maps to
+// ForceBinaryJoin, and everything else defaults to StrategyAuto.
+func (o Options) EffectiveStrategy() Strategy {
+	if o.Strategy != optimizer.StrategyDefault {
+		return o.Strategy
+	}
+	if o.UseStructuralJoins {
+		return ForceBinaryJoin
+	}
+	return StrategyAuto
+}
+
 // Plan renders the optimized expression tree (diagnostics).
-func (q *Query) Plan() string { return expr.String(q.plan.Body) }
+//
+// Deprecated: Plan is the string form only; use PlanInfo for the
+// structured operator tree (stable operator ids, per-branch join strategy,
+// cardinality estimates). Plan returns PlanInfo().Text.
+func (q *Query) Plan() string { return q.PlanInfo().Text }
 
 // Profiling and explain support. A Profile is attached to a Context before
 // execution and read afterwards; the rewrite trace is recorded at Compile
@@ -486,10 +540,28 @@ func (c *Context) WithWorkerLimiter(l WorkerLimiter) *Context {
 	return c
 }
 
+// PlanHints are per-execution overrides of compiled plan policy; see
+// Context.WithPlanHints.
+type PlanHints struct {
+	// Strategy, when not zero, overrides the plan's Options.Strategy for
+	// executions under this context: StrategyAuto re-enables cost-based
+	// selection, the Force* values pin one execution strategy.
+	Strategy Strategy
+}
+
+// WithPlanHints overrides plan policy for executions under this context —
+// the request-scoped escape hatch over the compile-time Options.Strategy.
+// The zero PlanHints removes any previous hint.
+func (c *Context) WithPlanHints(h PlanHints) *Context {
+	c.dyn.PlanHint = h.Strategy
+	return c
+}
+
 // SeedIndex pre-populates the structural-join index cache for d with an
-// already built index (see structjoin.BuildIndex), so executions compiled
-// with UseStructuralJoins share one index instead of each building their
-// own. The index must have been built from d's store document.
+// already built index (see structjoin.BuildIndex), so executions that
+// choose an index-based join strategy share one index instead of each
+// building their own — and the cost model sees the index as free. The
+// index must have been built from d's store document.
 func (c *Context) SeedIndex(d *Document, idx *structjoin.Index) *Context {
 	c.dyn.SeedIndex(d.doc, idx)
 	return c
